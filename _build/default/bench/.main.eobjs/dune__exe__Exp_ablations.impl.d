@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Circuit Color_dynamic Coloring Compile Decompose Exp_common List Printf Schedule Tablefmt

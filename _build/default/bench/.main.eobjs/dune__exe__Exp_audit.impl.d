@@ -1,0 +1,1 @@
+bench/exp_audit.ml: Compile Exp_common Leakage_audit List Printf Schedule Stats Tablefmt

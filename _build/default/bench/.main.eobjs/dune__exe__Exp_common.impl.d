@@ -1,0 +1,1 @@
+bench/exp_common.ml: Baseline_gmon Bv Circuit Compile Device Ising List Printf Qaoa Qgan Rng Schedule String Tablefmt Topology Xeb

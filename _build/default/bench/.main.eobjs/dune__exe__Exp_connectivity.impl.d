@@ -1,0 +1,1 @@
+bench/exp_connectivity.ml: Circuit Color_dynamic Compile Exp_common Graph List Printf Schedule Stats Tablefmt Topology Unix

@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Array Color_dynamic Compile Control Device Exp_common Float Ghz Graph Ising List Printf Qft Schedule Tablefmt Topology Unix

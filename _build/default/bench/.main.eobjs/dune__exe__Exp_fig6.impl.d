@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Array Circuit Compile Device Draw Exp_common Format Gate List Printf Schedule String

@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Coloring Crosstalk_graph Exp_common Graph List Printf Tablefmt Topology

@@ -1,0 +1,1 @@
+bench/exp_freqmap.ml: Array Buffer Color_dynamic Compile Device Exp_common Freq_alloc List Option Printf Schedule Topology

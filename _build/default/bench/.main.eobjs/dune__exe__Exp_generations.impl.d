@@ -1,0 +1,1 @@
+bench/exp_generations.ml: Compile Device Exp_common List Printf Schedule Tablefmt Topology

@@ -1,0 +1,1 @@
+bench/exp_gmon.ml: Compile Exp_common List Printf Schedule Tablefmt

@@ -1,0 +1,1 @@
+bench/exp_physics.ml: Coupled_pair Crosstalk Evolution Exp_common Fun List Printf Tablefmt Transmon

@@ -1,0 +1,1 @@
+bench/exp_seeds.ml: Compile Exp_common List Printf Schedule Stats Tablefmt

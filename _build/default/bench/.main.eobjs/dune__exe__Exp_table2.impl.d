@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Circuit Compile Exp_common Layers List Tablefmt

@@ -1,0 +1,1 @@
+bench/exp_validate.ml: Bv Compile Density Device Exp_common Float Ising List Noisy_sim Printf Qaoa Qgan Rng Schedule Stats Tablefmt

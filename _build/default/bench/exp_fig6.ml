@@ -1,0 +1,62 @@
+(* Fig 6: the paper's worked example — a toy four-qubit program on a 2x2
+   mesh whose two parallel CNOTs collide under naive compilation; the
+   optimized compilation separates them in frequency.  We print both
+   schedules with their frequency assignments and the per-step error terms,
+   making the textual analogue of Fig 6 (a)-(c). *)
+
+let toy_program () =
+  (* H and CNOT structure in the spirit of the figure: two two-qubit gates
+     able to run in parallel on adjacent couplings *)
+  Circuit.of_gates 4
+    [
+      (Gate.H, [ 0 ]);
+      (Gate.H, [ 2 ]);
+      (Gate.Cnot, [ 0; 1 ]);
+      (Gate.Cnot, [ 2; 3 ]);
+      (Gate.H, [ 1 ]);
+      (Gate.Cnot, [ 1; 3 ]);
+    ]
+
+let show device label schedule =
+  Printf.printf "\n--- %s ---\n" label;
+  List.iteri
+    (fun i step ->
+      let gate_text =
+        String.concat "  "
+          (List.map
+             (fun app ->
+               Printf.sprintf "%s(%s)" (Gate.name app.Gate.gate)
+                 (String.concat ","
+                    (List.map string_of_int (Array.to_list app.Gate.qubits))))
+             step.Schedule.gates)
+      in
+      let freq_text =
+        String.concat " "
+          (List.map
+             (fun (a, b) -> Printf.sprintf "(%d,%d)@%.3fGHz" a b step.Schedule.freqs.(a))
+             step.Schedule.interacting)
+      in
+      let gate_err, xtalk_err = Schedule.step_errors schedule step in
+      Printf.printf "step %d (%4.0f ns): %-40s %s [gate %.1e, crosstalk %.1e]\n" i
+        step.Schedule.duration gate_text freq_text gate_err xtalk_err)
+    schedule.Schedule.steps;
+  let m = Schedule.evaluate schedule in
+  Printf.printf "=> log10 success %.2f (crosstalk error %.2e)\n" m.Schedule.log10_success
+    m.Schedule.crosstalk_error;
+  ignore device
+
+let fig6 () =
+  Exp_common.heading "Fig 6: the worked example — spectral vs temporal separation";
+  let device = Exp_common.mesh_device 4 in
+  let circuit = toy_program () in
+  Format.printf "%a@.@." Device.pp_summary device;
+  print_endline "the toy program (logical):";
+  print_endline (Draw.circuit circuit);
+  show device "naive compilation (both CNOTs share one frequency)"
+    (Compile.run Compile.Naive device circuit);
+  show device "ColorDynamic (parallel CNOTs get separated frequencies)"
+    (Compile.run Compile.Color_dynamic device circuit);
+  print_endline
+    "\n(the highlighted collision of the paper's Fig 6b is the naive step whose\n\
+     crosstalk term saturates; Fig 6c's fix is visible as the distinct\n\
+     interaction frequencies in the ColorDynamic schedule)"

@@ -1,0 +1,51 @@
+(* Hardware-generation sensitivity: how the paper's conclusion ages as
+   coherence improves.  Serialization is only expensive while decoherence is
+   fast; on long-coherence hardware the gap between frequency-aware
+   parallelism and conservative serialization narrows — while the gap to the
+   crosstalk-unaware baseline stays catastrophic at any generation. *)
+
+let generations () =
+  Exp_common.heading "Extension: the conclusion across hardware generations";
+  let presets =
+    [ ("early-nisq", `Early_nisq); ("sycamore-era", `Sycamore_era); ("modern", `Modern) ]
+  in
+  let t =
+    Tablefmt.create
+      [
+        "generation"; "benchmark"; "N log10"; "U log10"; "CD log10"; "CD/U (decades)";
+      ]
+  in
+  List.iter
+    (fun (label, preset) ->
+      let params = Device.preset preset in
+      List.iteri
+        (fun i bench_name ->
+          let device =
+            Device.create ~params ~seed:Exp_common.device_seed (Topology.grid 4 4)
+          in
+          let bench = Exp_common.benchmark bench_name 16 in
+          let circuit = bench.Exp_common.make device in
+          let run algorithm =
+            (Schedule.evaluate (Compile.run algorithm device circuit)).Schedule.log10_success
+          in
+          let n = run Compile.Naive in
+          let u = run Compile.Uniform in
+          let cd = run Compile.Color_dynamic in
+          Tablefmt.add_row t
+            [
+              (if i = 0 then label else "");
+              bench.Exp_common.label;
+              Exp_common.log_cell n;
+              Exp_common.log_cell u;
+              Exp_common.log_cell cd;
+              Tablefmt.cell_float ~digits:2 (cd -. u);
+            ])
+        [ "xeb"; "bv"; "qgan" ];
+      Tablefmt.add_separator t)
+    presets;
+  Tablefmt.print t;
+  Printf.printf
+    "(the CD-vs-U gap shrinks as coherence improves — parallelism buys less when\n\
+     idling is cheap — while crosstalk-unaware compilation stays catastrophic on\n\
+     every generation: frequency awareness remains necessary, serialization\n\
+     stops being a competitive substitute only on weak hardware)\n"

@@ -1,0 +1,79 @@
+(* Physics figures: Fig 2 (interaction strength vs detuning), Fig 4 (transmon
+   spectrum vs flux), Fig 15 (two-transmon transition-probability maps). *)
+
+let fig2 () =
+  Exp_common.heading "Fig 2: interaction strength between two coupled transmons";
+  Printf.printf
+    "omega_B fixed at 6.0 GHz, g0 = 30 MHz; exact = half excess splitting of the\n\
+     dressed doublet; eq5 = dispersive residual-coupling law g0^2/delta.\n";
+  let t = Tablefmt.create [ "omega_A (GHz)"; "exact g_eff (MHz)"; "eq 5 (MHz)" ] in
+  let omega_b = 6.0 and g0 = 0.030 in
+  List.iter
+    (fun step ->
+      let omega_a = 5.0 +. (0.1 *. float_of_int step) in
+      let exact = Coupled_pair.exchange_strength ~omega_a ~omega_b ~g:g0 in
+      let eq5 = Crosstalk.residual_coupling ~g0 ~delta:(omega_a -. omega_b) in
+      Tablefmt.add_row t
+        [
+          Tablefmt.cell_float ~digits:1 omega_a;
+          Tablefmt.cell_float ~digits:3 (exact *. 1000.0);
+          Tablefmt.cell_float ~digits:3 (eq5 *. 1000.0);
+        ])
+    (List.init 21 Fun.id);
+  Tablefmt.print t;
+  Printf.printf "Shape check: peak at resonance (6.0), 1/delta tail on both sides.\n"
+
+let fig4 () =
+  Exp_common.heading "Fig 4: transmon spectrum vs external flux";
+  let tr = Transmon.create ~omega_max:7.0 ~omega_min:5.0 () in
+  let t =
+    Tablefmt.create
+      [ "flux (Phi0)"; "omega_01 (GHz)"; "omega_12 (GHz)"; "|d omega/d flux| (GHz/Phi0)" ]
+  in
+  List.iter
+    (fun step ->
+      let flux = 0.05 *. float_of_int step in
+      Tablefmt.add_row t
+        [
+          Tablefmt.cell_float ~digits:2 flux;
+          Tablefmt.cell_float ~digits:4 (Transmon.freq_01 tr ~flux);
+          Tablefmt.cell_float ~digits:4 (Transmon.freq_12 tr ~flux);
+          Tablefmt.cell_float ~digits:3 (Transmon.flux_sensitivity tr ~flux);
+        ])
+    (List.init 21 Fun.id);
+  Tablefmt.print t;
+  Printf.printf
+    "Sweet spots at flux 0 and 0.5 (sensitivity ~ 0); the shaded flux-sensitive\n\
+     region of the paper is the slope in between.\n"
+
+let fig15 () =
+  Exp_common.heading "Fig 15: two-transmon transition probabilities vs flux and time";
+  let tr = Transmon.create ~omega_max:7.0 ~omega_min:5.0 () in
+  let omega_b = 6.0 and alpha = -0.2 and g = 0.030 in
+  let times = [ 5.0; 10.0; 15.0; 20.0; 25.0; 30.0 ] in
+  let fluxes = List.init 13 (fun i -> 0.10 +. (0.02 *. float_of_int i)) in
+  let print_map ~title ~src ~dst =
+    Printf.printf "\n%s\n" title;
+    let t =
+      Tablefmt.create
+        ("flux \\ t(ns)" :: List.map (fun tm -> Printf.sprintf "%.0f" tm) times)
+    in
+    List.iter
+      (fun flux ->
+        let omega_a = Transmon.freq_01 tr ~flux in
+        let h =
+          Coupled_pair.hamiltonian
+            { Coupled_pair.omega_a; omega_b; alpha_a = alpha; alpha_b = alpha; g }
+        in
+        let series = Evolution.transition_series h ~src ~dst ~times in
+        Tablefmt.add_row t
+          (Printf.sprintf "%.2f (%.2f GHz)" flux omega_a
+          :: List.map (fun (_, p) -> Tablefmt.cell_float ~digits:2 p) series))
+      fluxes;
+    Tablefmt.print t
+  in
+  let idx = Coupled_pair.state_index ~levels:3 in
+  print_map ~title:"P(|01> -> |10>)  [iSWAP channel: resonance at omega_A = 6.0]"
+    ~src:(idx 0 1) ~dst:(idx 1 0);
+  print_map ~title:"P(|11> -> |20>)  [CZ channel: resonance at omega_A = 6.0 - alpha = 6.2]"
+    ~src:(idx 1 1) ~dst:(idx 2 0)

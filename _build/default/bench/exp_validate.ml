@@ -1,0 +1,63 @@
+(* §VI-C: validation of the success-rate heuristic against full noisy
+   simulation on small circuits — both Monte-Carlo trajectories and the
+   exact density-matrix evolution (sampling-noise-free reference). *)
+
+let validate () =
+  Exp_common.heading
+    "Heuristic validation (§VI-C): eq 4 estimate vs noisy simulation";
+  let trials = 300 in
+  let cases =
+    [
+      ("bv(4)", 4, fun (_ : Device.t) -> Bv.circuit ~n:4 ());
+      ("ising(4)", 4, fun _ -> Ising.circuit ~n:4 ());
+      ("qaoa(4)", 4, fun _ -> Qaoa.circuit (Rng.create 3) ~n:4 ());
+      ("qgan(4)", 4, fun _ -> Qgan.circuit (Rng.create 4) ~n:4 ());
+      ("xeb(4,3)", 4, fun d -> Exp_common.xeb_for_device ~cycles:3 d);
+      ("bv(6)", 6, fun _ -> Bv.circuit ~n:6 ());
+    ]
+  in
+  let t =
+    Tablefmt.create
+      [ "circuit"; "algorithm"; "heuristic P"; "trajectories P"; "exact P"; "|log10 gap|" ]
+  in
+  let gaps = ref [] in
+  List.iter
+    (fun (label, n, make) ->
+      let device = Exp_common.mesh_device n in
+      List.iter
+        (fun algorithm ->
+          let circuit = make device in
+          let schedule = Compile.run algorithm device circuit in
+          let metrics = Schedule.evaluate schedule in
+          let steps = Schedule.to_noisy_steps schedule in
+          let n_qubits = Device.n_qubits device in
+          let ideal = Noisy_sim.ideal_of_steps ~n_qubits steps in
+          let sampled =
+            Noisy_sim.average_fidelity (Rng.create 99) ~n_qubits ~ideal ~steps ~trials
+          in
+          let exact = Density.fidelity_pure (Density.run_steps ~n_qubits steps) ideal in
+          let gap =
+            if metrics.Schedule.success > 0.0 && exact > 0.0 then
+              Float.abs (log10 metrics.Schedule.success -. log10 exact)
+            else infinity
+          in
+          if Float.is_finite gap then gaps := gap :: !gaps;
+          Tablefmt.add_row t
+            [
+              label;
+              Compile.algorithm_to_string algorithm;
+              Tablefmt.cell_sci ~digits:2 metrics.Schedule.success;
+              Tablefmt.cell_sci ~digits:2 sampled;
+              Tablefmt.cell_sci ~digits:2 exact;
+              Tablefmt.cell_float ~digits:2 gap;
+            ])
+        [ Compile.Naive; Compile.Uniform; Compile.Color_dynamic ])
+    cases;
+  Tablefmt.print t;
+  Printf.printf
+    "mean |log10 gap| vs exact = %.2f over %d cases (heuristic is a worst-case\n\
+     estimate, so it should sit at or below the simulated success;\n\
+     order-of-magnitude agreement and preserved ranking are what the paper's\n\
+     validation requires.  The trajectory column approaches the exact column\n\
+     as trials grow — both implement the same channels)\n"
+    (Stats.mean !gaps) (List.length !gaps)

@@ -1,0 +1,365 @@
+(* fastsc — command-line front end of the crosstalk-mitigation compiler.
+
+   Subcommands:
+     fastsc device   ... inspect a fabricated device and its frequency plan
+     fastsc compile  ... compile one benchmark with one algorithm
+     fastsc sweep    ... compare all algorithms on one benchmark
+     fastsc validate ... check the success heuristic against noisy simulation
+     fastsc list     ... enumerate benchmarks, algorithms, topologies *)
+
+open Cmdliner
+
+let parse_topology spec n =
+  let fail msg = `Error (false, msg) in
+  match String.split_on_char ':' spec with
+  | [ "grid" ] -> `Ok (Topology.square_grid n)
+  | [ "path" ] -> `Ok (Topology.path n)
+  | [ "ring" ] -> `Ok (Topology.ring n)
+  | [ "complete" ] -> `Ok (Topology.complete n)
+  | [ "1ex"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 2 -> `Ok (Topology.express_1d n k)
+    | _ -> fail "1ex:<k> needs an integer k >= 2")
+  | [ "2ex"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 2 ->
+      let side = int_of_float (sqrt (float_of_int n)) in
+      if side * side <> n then fail "2ex needs a square qubit count"
+      else `Ok (Topology.express_2d side side k)
+    | _ -> fail "2ex:<k> needs an integer k >= 2")
+  | _ -> fail (Printf.sprintf "unknown topology %S (try grid, path, ring, 1ex:4, 2ex:2)" spec)
+
+let benchmark_names = [ "bv"; "qaoa"; "ising"; "qgan"; "xeb"; "ghz"; "qft" ]
+
+let make_benchmark name n seed device =
+  let rng = Rng.create seed in
+  match name with
+  | "bv" -> Bv.circuit ~n ()
+  | "qaoa" -> Qaoa.circuit rng ~n ()
+  | "ising" -> Ising.circuit ~n ()
+  | "qgan" -> Qgan.circuit rng ~n ()
+  | "xeb" ->
+    let classes = Baseline_gmon.edge_classes device in
+    Xeb.circuit rng ~graph:(Device.graph device) ~classes ~cycles:5 ()
+  | "ghz" -> Ghz.circuit ~fanout:true ~n ()
+  | "qft" -> Qft.circuit ~n ()
+  | other -> invalid_arg (Printf.sprintf "unknown benchmark %S" other)
+
+(* shared options *)
+let seed_arg =
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc:"Device fabrication seed.")
+
+let size_arg =
+  Arg.(value & opt int 9 & info [ "n"; "size" ] ~docv:"N" ~doc:"Number of qubits.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt string "grid"
+    & info [ "topology" ] ~docv:"TOPO" ~doc:"Device topology: grid, path, ring, 1ex:k, 2ex:k, complete.")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt string "bv"
+    & info [ "bench" ] ~docv:"BENCH" ~doc:"Benchmark: bv, qaoa, ising, qgan, xeb.")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt string "cd"
+    & info [ "algorithm"; "a" ] ~docv:"ALG"
+        ~doc:"Algorithm: naive/n, gmon/g, uniform/u, static/s, color-dynamic/cd.")
+
+let with_device topology_spec n seed k =
+  match parse_topology topology_spec n with
+  | `Error _ as e -> e
+  | `Ok topology -> k (Device.create ~seed topology)
+
+let print_metrics metrics =
+  let t = Tablefmt.create [ "metric"; "value" ] in
+  Tablefmt.add_row t [ "success probability"; Tablefmt.cell_sci metrics.Schedule.success ];
+  Tablefmt.add_row t
+    [ "log10 success"; Tablefmt.cell_float ~digits:2 metrics.Schedule.log10_success ];
+  Tablefmt.add_row t [ "gate error"; Tablefmt.cell_sci metrics.Schedule.gate_error ];
+  Tablefmt.add_row t [ "crosstalk error"; Tablefmt.cell_sci metrics.Schedule.crosstalk_error ];
+  Tablefmt.add_row t
+    [ "decoherence error"; Tablefmt.cell_sci metrics.Schedule.decoherence_error ];
+  Tablefmt.add_row t [ "depth (steps)"; Tablefmt.cell_int metrics.Schedule.depth ];
+  Tablefmt.add_row t
+    [ "total time (ns)"; Tablefmt.cell_float ~digits:1 metrics.Schedule.total_time ];
+  Tablefmt.add_row t [ "gates"; Tablefmt.cell_int metrics.Schedule.n_gates ];
+  Tablefmt.add_row t [ "two-qubit gates"; Tablefmt.cell_int metrics.Schedule.n_two_qubit ];
+  Tablefmt.print t
+
+(* fastsc device *)
+let device_cmd =
+  let run topology_spec n seed =
+    with_device topology_spec n seed (fun device ->
+        Format.printf "%a@." Device.pp_summary device;
+        let partition = Device.partition device in
+        Format.printf "frequency plan: %a@." Partition.pp partition;
+        let coloring, assignment = Freq_alloc.idle device in
+        Printf.printf "idle coloring: %d colors, separation %.3f GHz\n"
+          (Coloring.n_colors coloring) assignment.Freq_alloc.delta;
+        let t = Tablefmt.create [ "qubit"; "omega_min"; "omega_max"; "T1 (us)"; "T2 (us)"; "idle (GHz)" ] in
+        for q = 0 to Device.n_qubits device - 1 do
+          let lo, hi = Device.tunable_range device q in
+          Tablefmt.add_row t
+            [
+              Tablefmt.cell_int q;
+              Tablefmt.cell_float ~digits:3 lo;
+              Tablefmt.cell_float ~digits:3 hi;
+              Tablefmt.cell_float ~digits:1 (Device.t1 device q /. 1000.0);
+              Tablefmt.cell_float ~digits:1 (Device.t2 device q /. 1000.0);
+              Tablefmt.cell_float ~digits:3 assignment.Freq_alloc.freqs.(coloring.(q));
+            ]
+        done;
+        Tablefmt.print t;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "device" ~doc:"Fabricate and inspect a device")
+    Term.(ret (const run $ topology_arg $ size_arg $ seed_arg))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+(* fastsc compile *)
+let compile_cmd =
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every schedule step.")
+  in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input"; "i" ] ~docv:"FILE"
+          ~doc:"Compile an OpenQASM 2.0 circuit from FILE instead of a built-in benchmark.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the full compilation artifact (schedule, metrics, pulses) as JSON.")
+  in
+  let draw_arg =
+    Arg.(value & flag & info [ "draw" ] ~doc:"Draw the routed native circuit as ASCII.")
+  in
+  let chart_arg =
+    Arg.(
+      value & flag
+      & info [ "chart" ] ~doc:"Print the schedule's frequency chart (qubits x steps).")
+  in
+  let run topology_spec n seed bench alg verbose json draw chart input =
+    match Compile.algorithm_of_string alg with
+    | None -> `Error (false, Printf.sprintf "unknown algorithm %S" alg)
+    | Some algorithm -> (
+      let external_circuit =
+        match input with
+        | None -> Ok None
+        | Some path -> (
+          try Ok (Some (Qasm.of_string (read_file path))) with
+          | Qasm.Parse_error (line, msg) ->
+            Error (Printf.sprintf "%s:%d: %s" path line msg)
+          | Sys_error msg -> Error msg)
+      in
+      match external_circuit with
+      | Error msg -> `Error (false, msg)
+      | Ok external_circuit ->
+        let n =
+          match external_circuit with Some c -> max n (Circuit.n_qubits c) | None -> n
+        in
+        with_device topology_spec n seed (fun device ->
+            if external_circuit = None && not (List.mem bench benchmark_names) then
+              `Error (false, Printf.sprintf "unknown benchmark %S" bench)
+            else begin
+              let circuit =
+                match external_circuit with
+                | Some c -> c
+                | None -> make_benchmark bench n seed device
+              in
+            let schedule = Compile.run algorithm device circuit in
+            (match Schedule.check schedule with
+            | Ok () -> ()
+            | Error msg -> failwith ("invalid schedule: " ^ msg));
+            if json then print_endline (Export.to_string (Export.bundle schedule))
+            else begin
+              Format.printf "%a@." Device.pp_summary device;
+              Format.printf "%a@." Schedule.pp_summary schedule;
+              print_metrics (Schedule.evaluate schedule);
+              if draw then begin
+                let native = Compile.prepare Compile.default_options device circuit in
+                print_endline (Draw.circuit native)
+              end;
+              if chart then print_endline (Freq_chart.render schedule);
+              if verbose then
+                List.iter
+                  (fun step -> Format.printf "%a@." (Schedule.pp_step device) step)
+                  schedule.Schedule.steps
+            end;
+            `Ok ()
+            end))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile one benchmark (or a QASM file) with one algorithm")
+    Term.(
+      ret
+        (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ algorithm_arg
+       $ verbose_arg $ json_arg $ draw_arg $ chart_arg $ input_arg))
+
+(* fastsc qasm *)
+let qasm_cmd =
+  let native_arg =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:"Emit the routed, decomposed physical circuit instead of the logical one.")
+  in
+  let run topology_spec n seed bench native =
+    with_device topology_spec n seed (fun device ->
+        if not (List.mem bench benchmark_names) then
+          `Error (false, Printf.sprintf "unknown benchmark %S" bench)
+        else begin
+          let circuit = make_benchmark bench n seed device in
+          let circuit =
+            if native then Compile.prepare Compile.default_options device circuit
+            else circuit
+          in
+          print_string (Qasm.to_string circuit);
+          `Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "qasm" ~doc:"Emit a benchmark circuit as OpenQASM 2.0")
+    Term.(ret (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ native_arg))
+
+(* fastsc sweep *)
+let sweep_cmd =
+  let run topology_spec n seed bench =
+    with_device topology_spec n seed (fun device ->
+        if not (List.mem bench benchmark_names) then
+          `Error (false, Printf.sprintf "unknown benchmark %S" bench)
+        else begin
+          let circuit = make_benchmark bench n seed device in
+          let t =
+            Tablefmt.create
+              [ "algorithm"; "log10 P"; "crosstalk"; "decoherence"; "depth"; "time (ns)" ]
+          in
+          List.iter
+            (fun algorithm ->
+              let schedule = Compile.run algorithm device circuit in
+              let m = Schedule.evaluate schedule in
+              Tablefmt.add_row t
+                [
+                  Compile.algorithm_to_string algorithm;
+                  Tablefmt.cell_float ~digits:2 m.Schedule.log10_success;
+                  Tablefmt.cell_sci ~digits:2 m.Schedule.crosstalk_error;
+                  Tablefmt.cell_sci ~digits:2 m.Schedule.decoherence_error;
+                  Tablefmt.cell_int m.Schedule.depth;
+                  Tablefmt.cell_float ~digits:0 m.Schedule.total_time;
+                ])
+            Compile.all_algorithms;
+          Tablefmt.print t;
+          `Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Compare all algorithms on one benchmark")
+    Term.(ret (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg))
+
+(* fastsc validate *)
+let validate_cmd =
+  let trials_arg =
+    Arg.(value & opt int 300 & info [ "trials" ] ~docv:"K" ~doc:"Monte-Carlo trajectories.")
+  in
+  let run topology_spec n seed bench alg trials =
+    match Compile.algorithm_of_string alg with
+    | None -> `Error (false, Printf.sprintf "unknown algorithm %S" alg)
+    | Some algorithm ->
+      if n > 10 then `Error (false, "validation simulates exactly; use --n <= 10")
+      else
+        with_device topology_spec n seed (fun device ->
+            let circuit = make_benchmark bench n seed device in
+            let schedule = Compile.run algorithm device circuit in
+            let metrics = Schedule.evaluate schedule in
+            let steps = Schedule.to_noisy_steps schedule in
+            let n_qubits = Device.n_qubits device in
+            let ideal = Noisy_sim.ideal_of_steps ~n_qubits steps in
+            let simulated =
+              Noisy_sim.average_fidelity (Rng.create (seed + 1)) ~n_qubits ~ideal ~steps
+                ~trials
+            in
+            Printf.printf "heuristic success (eq 4): %.3e\n" metrics.Schedule.success;
+            Printf.printf "simulated success (%d trajectories): %.3e\n" trials simulated;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Heuristic vs Monte-Carlo noisy simulation")
+    Term.(
+      ret (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ algorithm_arg $ trials_arg))
+
+(* fastsc budget *)
+let budget_cmd =
+  let run topology_spec n seed bench alg =
+    match Compile.algorithm_of_string alg with
+    | None -> `Error (false, Printf.sprintf "unknown algorithm %S" alg)
+    | Some algorithm ->
+      with_device topology_spec n seed (fun device ->
+          if not (List.mem bench benchmark_names) then
+            `Error (false, Printf.sprintf "unknown benchmark %S" bench)
+          else begin
+            let circuit = make_benchmark bench n seed device in
+            let schedule = Compile.run algorithm device circuit in
+            Format.printf "%a@." Error_budget.pp (Error_budget.compute schedule);
+            `Ok ()
+          end)
+  in
+  Cmd.v
+    (Cmd.info "budget" ~doc:"Per-step error budget of a compiled benchmark")
+    Term.(ret (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ algorithm_arg))
+
+(* fastsc calibrate *)
+let calibrate_cmd =
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the calibration as JSON.") in
+  let run topology_spec n seed json =
+    with_device topology_spec n seed (fun device ->
+        let cal = Calibration.generate device in
+        (match Calibration.check cal with
+        | Ok () -> ()
+        | Error msg -> failwith ("invalid calibration: " ^ msg));
+        if json then print_endline (Export.to_string (Calibration.to_json cal))
+        else Format.printf "%a@." Calibration.pp cal;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Produce the device's frequency calibration tables")
+    Term.(ret (const run $ topology_arg $ size_arg $ seed_arg $ json_arg))
+
+(* fastsc list *)
+let list_cmd =
+  let run () =
+    print_endline ("benchmarks: " ^ String.concat " " benchmark_names);
+    print_endline
+      ("algorithms: "
+      ^ String.concat " " (List.map Compile.algorithm_to_string Compile.all_algorithms));
+    print_endline "topologies: grid path ring complete 1ex:<k> 2ex:<k>";
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Enumerate benchmarks, algorithms, topologies")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "fastsc" ~version:"1.0.0"
+      ~doc:"Frequency-aware crosstalk-mitigating compilation for superconducting qubits"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            device_cmd; compile_cmd; sweep_cmd; validate_cmd; qasm_cmd; calibrate_cmd;
+            budget_cmd; list_cmd;
+          ]))

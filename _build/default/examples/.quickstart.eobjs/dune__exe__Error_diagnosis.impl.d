@@ -1,0 +1,1 @@
+examples/error_diagnosis.ml: Baseline_gmon Compile Device Error_budget Format Gate Leakage_audit List Printf Rng Schedule Topology Xeb

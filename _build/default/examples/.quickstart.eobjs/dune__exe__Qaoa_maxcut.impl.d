@@ -1,0 +1,1 @@
+examples/qaoa_maxcut.ml: Array Compile Device Float Format Graph List Printf Qaoa Rng Schedule Seq Statevector Tablefmt Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Baseline_gmon Bv Circuit Compile Device Format Freq_alloc Layers Printf Rng Schedule Topology Xeb

@@ -1,0 +1,1 @@
+examples/topology_explorer.ml: Circuit Color_dynamic Compile Device Graph List Mapping Paths Printf Qaoa Rng Schedule Tablefmt Topology

@@ -1,0 +1,1 @@
+examples/xeb_calibration.ml: Array Baseline_gmon Color_dynamic Compile Device Format List Printf Rng Schedule Tablefmt Topology Xeb

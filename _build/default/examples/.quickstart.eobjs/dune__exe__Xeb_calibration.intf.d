@@ -1,0 +1,1 @@
+examples/xeb_calibration.mli:

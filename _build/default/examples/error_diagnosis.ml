@@ -1,0 +1,60 @@
+(* Diagnosing where a compiled program loses fidelity.
+
+   A workflow the paper's tooling enables but never spells out: compile,
+   split the success estimate into per-step budgets, find the hotspot, and
+   then drop to the microscopic three-level Hamiltonian to see what actually
+   happens physically during that step — for a crosstalk-unaware baseline
+   and for ColorDynamic.
+
+   Run with: dune exec examples/error_diagnosis.exe *)
+
+let busiest schedule =
+  List.fold_left
+    (fun best step ->
+      match best with
+      | Some b
+        when List.length b.Schedule.interacting >= List.length step.Schedule.interacting ->
+        best
+      | _ -> Some step)
+    None schedule.Schedule.steps
+
+let diagnose device circuit algorithm =
+  Printf.printf "==== %s ====\n" (Compile.algorithm_to_string algorithm);
+  let schedule = Compile.run algorithm device circuit in
+  let budget = Error_budget.compute schedule in
+  Format.printf "%a@." Error_budget.pp budget;
+  (* microscopic look at the busiest step *)
+  match busiest schedule with
+  | None -> ()
+  | Some step ->
+    Printf.printf "microscopic audit of the busiest step (%d parallel 2q gates):\n"
+      (List.length step.Schedule.interacting);
+    List.iter
+      (fun audit ->
+        let a, b =
+          match audit.Leakage_audit.gate.Gate.qubits with
+          | [| a; b |] -> (a, b)
+          | _ -> assert false
+        in
+        Printf.printf
+          "  %s(%d,%d): intended %.3f, spectators stole %.3f, leakage %.4f\n"
+          (Gate.name audit.Leakage_audit.gate.Gate.gate)
+          a b audit.Leakage_audit.intended_transfer audit.Leakage_audit.spectator_pickup
+          audit.Leakage_audit.leakage)
+      (Leakage_audit.audit_step device step);
+    print_newline ()
+
+let () =
+  let device = Device.create ~seed:2020 (Topology.grid 3 3) in
+  let circuit =
+    let classes = Baseline_gmon.edge_classes device in
+    Xeb.circuit (Rng.create 7) ~graph:(Device.graph device) ~classes ~cycles:2 ()
+  in
+  Format.printf "%a@.@." Device.pp_summary device;
+  diagnose device circuit Compile.Naive;
+  diagnose device circuit Compile.Color_dynamic;
+  print_endline
+    "The budget shows WHERE the estimate loses probability; the audit shows WHY:\n\
+     under the naive schedule, parallel gates on one frequency resonate with\n\
+     their spectators and the intended transfer collapses.  ColorDynamic's\n\
+     per-step coloring keeps every gate's physics clean."

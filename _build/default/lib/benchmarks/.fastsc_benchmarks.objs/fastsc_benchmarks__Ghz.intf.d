@@ -1,0 +1,1 @@
+lib/benchmarks/ghz.mli: Circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/ising.ml: Circuit Gate

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.ml: Circuit Float Gate Graph List Rng

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.mli: Circuit Graph Rng

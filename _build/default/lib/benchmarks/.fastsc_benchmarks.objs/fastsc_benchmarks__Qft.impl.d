@@ -1,0 +1,1 @@
+lib/benchmarks/qft.ml: Circuit Float Gate List

@@ -1,0 +1,1 @@
+lib/benchmarks/qft.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/benchmarks/qgan.ml: Circuit Float Gate Rng

@@ -1,0 +1,1 @@
+lib/benchmarks/qgan.mli: Circuit Rng

@@ -1,0 +1,1 @@
+lib/benchmarks/xeb.ml: Array Circuit Gate Graph List Printf Rng

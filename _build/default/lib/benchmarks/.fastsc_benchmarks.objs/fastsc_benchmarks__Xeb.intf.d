@@ -1,0 +1,1 @@
+lib/benchmarks/xeb.mli: Circuit Gate Graph Rng

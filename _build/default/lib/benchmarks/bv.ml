@@ -1,0 +1,28 @@
+let default_secret n = (1 lsl (n - 1)) - 1
+
+let validate ?secret ~n () =
+  if n < 2 then invalid_arg "Bv.circuit: needs at least 2 qubits";
+  match secret with
+  | Some s when s < 0 -> invalid_arg "Bv.circuit: negative secret"
+  | Some s -> s land default_secret n
+  | None -> default_secret n
+
+let circuit ?secret ~n () =
+  let secret = validate ?secret ~n () in
+  let ancilla = n - 1 in
+  let b = Circuit.builder n in
+  Circuit.add b Gate.X [ ancilla ];
+  for q = 0 to n - 1 do
+    Circuit.add b Gate.H [ q ]
+  done;
+  for q = 0 to n - 2 do
+    if secret land (1 lsl q) <> 0 then Circuit.add b Gate.Cnot [ q; ancilla ]
+  done;
+  for q = 0 to n - 1 do
+    Circuit.add b Gate.H [ q ]
+  done;
+  Circuit.finish b
+
+let expected_outcome ?secret ~n () =
+  let secret = validate ?secret ~n () in
+  secret lor (1 lsl (n - 1))

@@ -1,0 +1,16 @@
+(** Bernstein–Vazirani circuits (paper Table II, BV(n)).
+
+    BV recovers a hidden bit string with one oracle query: Hadamards on all
+    qubits, a phase oracle of CNOTs from each set-bit data qubit into the
+    ancilla (prepared in |->), and closing Hadamards.  On [n] qubits the
+    last qubit is the ancilla and the remaining [n - 1] hold the secret. *)
+
+val circuit : ?secret:int -> n:int -> unit -> Circuit.t
+(** [circuit ~n ()] builds BV on [n] qubits ([n >= 2]).  [secret] defaults to
+    the all-ones string (maximum oracle weight, the usual benchmarking
+    choice); only its low [n - 1] bits are used.
+    @raise Invalid_argument if [n < 2] or [secret < 0]. *)
+
+val expected_outcome : ?secret:int -> n:int -> unit -> int
+(** The basis state an ideal run measures: secret bits on the data qubits,
+    ancilla back in |1>. *)

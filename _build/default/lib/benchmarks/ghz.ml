@@ -1,0 +1,22 @@
+let circuit ?(fanout = false) ~n () =
+  if n < 2 then invalid_arg "Ghz.circuit: needs at least 2 qubits";
+  let b = Circuit.builder n in
+  Circuit.add b Gate.H [ 0 ];
+  if fanout then begin
+    (* double the entangled prefix each round: 0 -> 1, {0,1} -> {2,3}, ... *)
+    let entangled = ref 1 in
+    while !entangled < n do
+      let sources = min !entangled (n - !entangled) in
+      for k = 0 to sources - 1 do
+        Circuit.add b Gate.Cnot [ k; !entangled + k ]
+      done;
+      entangled := !entangled + sources
+    done
+  end
+  else
+    for q = 0 to n - 2 do
+      Circuit.add b Gate.Cnot [ q; q + 1 ]
+    done;
+  Circuit.finish b
+
+let expected_probabilities ~n = [ (0, 0.5); ((1 lsl n) - 1, 0.5) ]

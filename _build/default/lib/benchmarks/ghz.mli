@@ -1,0 +1,15 @@
+(** GHZ state preparation.
+
+    The smallest globally-entangling benchmark: a Hadamard and a CNOT chain
+    produce (|0...0> + |1...1>)/sqrt 2.  Its linear entangling chain makes it
+    a clean probe of how much a compilation strategy pays on strictly
+    sequential two-qubit structure (the opposite extreme from XEB). *)
+
+val circuit : ?fanout:bool -> n:int -> unit -> Circuit.t
+(** [circuit ~n ()]: GHZ on [n >= 2] qubits.  With [fanout] (default false)
+    the CNOTs form a balanced binary fan-out tree instead of a chain —
+    logarithmic depth, same state, a scheduling stress variant.
+    @raise Invalid_argument if [n < 2]. *)
+
+val expected_probabilities : n:int -> (int * float) list
+(** The two ideal outcomes and their probabilities. *)

@@ -1,0 +1,22 @@
+let circuit ?(steps = 3) ?(coupling = 1.0) ?(field = 1.0) ~n () =
+  if n < 2 then invalid_arg "Ising.circuit: needs at least 2 spins";
+  if steps < 1 then invalid_arg "Ising.circuit: needs at least 1 Trotter step";
+  let b = Circuit.builder n in
+  for q = 0 to n - 1 do
+    Circuit.add b Gate.H [ q ]
+  done;
+  for step = 1 to steps do
+    (* linear adiabatic ramp: interactions grow, transverse field decays *)
+    let s = float_of_int step /. float_of_int steps in
+    let zz_angle = coupling *. s in
+    let x_angle = field *. (1.0 -. s) +. 0.1 in
+    for q = 0 to n - 2 do
+      Circuit.add b Gate.Cnot [ q; q + 1 ];
+      Circuit.add b (Gate.Rz zz_angle) [ q + 1 ];
+      Circuit.add b Gate.Cnot [ q; q + 1 ]
+    done;
+    for q = 0 to n - 1 do
+      Circuit.add b (Gate.Rx x_angle) [ q ]
+    done
+  done;
+  Circuit.finish b

@@ -1,0 +1,14 @@
+(** Linear Ising-chain simulation circuits (paper Table II, ISING(n)).
+
+    Digitized adiabatic evolution of a transverse-field Ising spin chain
+    (after Barends et al. 2016): each Trotter step applies a ZZ interaction
+    on every nearest-neighbour pair of the chain followed by transverse- and
+    longitudinal-field rotations on every spin.  The interaction and field
+    strengths ramp linearly over the steps as in the digitized-adiabatic
+    protocol. *)
+
+val circuit : ?steps:int -> ?coupling:float -> ?field:float -> n:int -> unit -> Circuit.t
+(** [circuit ~n ()] simulates a chain of [n >= 2] spins for [steps] Trotter
+    steps (default 3) with interaction angle scale [coupling] (default 1.0)
+    and transverse field scale [field] (default 1.0).
+    @raise Invalid_argument if [n < 2] or [steps < 1]. *)

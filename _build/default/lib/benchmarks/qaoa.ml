@@ -1,0 +1,37 @@
+let problem_graph rng ~n ?(edge_prob = 0.5) () =
+  if n < 2 then invalid_arg "Qaoa.problem_graph: needs at least 2 vertices";
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng < edge_prob then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let circuit_of_graph ?(angles = []) rng ?(rounds = 1) graph =
+  let n = Graph.n_vertices graph in
+  let b = Circuit.builder n in
+  for q = 0 to n - 1 do
+    Circuit.add b Gate.H [ q ]
+  done;
+  for round = 1 to rounds do
+    let gamma, beta =
+      match List.nth_opt angles (round - 1) with
+      | Some pair -> pair
+      | None -> (Rng.uniform rng 0.0 (2.0 *. Float.pi), Rng.uniform rng 0.0 Float.pi)
+    in
+    Graph.iter_edges
+      (fun u v ->
+        (* exp(-i gamma/2 Z_u Z_v) *)
+        Circuit.add b Gate.Cnot [ u; v ];
+        Circuit.add b (Gate.Rz gamma) [ v ];
+        Circuit.add b Gate.Cnot [ u; v ])
+      graph;
+    for q = 0 to n - 1 do
+      Circuit.add b (Gate.Rx (2.0 *. beta)) [ q ]
+    done
+  done;
+  Circuit.finish b
+
+let circuit rng ~n ?edge_prob ?rounds () =
+  circuit_of_graph rng ?rounds (problem_graph rng ~n ?edge_prob ())

@@ -1,0 +1,21 @@
+(** QAOA MAX-CUT circuits (paper Table II, QAOA(n)).
+
+    Quantum Approximate Optimization for MAX-CUT on an Erdos–Renyi random
+    graph G(n, p): initial Hadamards, then [rounds] alternating layers of the
+    cost unitary (one ZZ interaction [CNOT; Rz(gamma); CNOT] per graph edge)
+    and the mixer (Rx(beta) on every qubit).  Random graph, gamma and beta
+    are drawn from the supplied generator, so circuits are reproducible per
+    seed. *)
+
+val problem_graph : Rng.t -> n:int -> ?edge_prob:float -> unit -> Graph.t
+(** The Erdos–Renyi instance ([edge_prob] defaults to 0.5). *)
+
+val circuit_of_graph :
+  ?angles:(float * float) list -> Rng.t -> ?rounds:int -> Graph.t -> Circuit.t
+(** QAOA over an explicit problem graph ([rounds] defaults to 1).  [angles]
+    supplies explicit [(gamma, beta)] per round (e.g. from a classical outer
+    optimization loop); missing rounds draw from the generator. *)
+
+val circuit : Rng.t -> n:int -> ?edge_prob:float -> ?rounds:int -> unit -> Circuit.t
+(** Random instance + circuit in one call ([n >= 2]).
+    @raise Invalid_argument if [n < 2]. *)

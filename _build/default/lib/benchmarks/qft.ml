@@ -1,0 +1,30 @@
+let controlled_phase theta c t =
+  let half = theta /. 2.0 in
+  [
+    (Gate.Rz half, [ c ]);
+    (Gate.Rz half, [ t ]);
+    (Gate.Cnot, [ c; t ]);
+    (Gate.Rz (-.half), [ t ]);
+    (Gate.Cnot, [ c; t ]);
+  ]
+
+let circuit ?(approximation = 0) ?(reverse = true) ~n () =
+  if n < 1 then invalid_arg "Qft.circuit: needs at least 1 qubit";
+  if approximation < 0 then invalid_arg "Qft.circuit: negative approximation level";
+  let b = Circuit.builder n in
+  for i = n - 1 downto 0 do
+    Circuit.add b Gate.H [ i ];
+    for j = i - 1 downto 0 do
+      let k = i - j in
+      (* rotation pi / 2^k, controlled on the lower qubit *)
+      if approximation = 0 || k < approximation then
+        List.iter
+          (fun (g, qs) -> Circuit.add b g qs)
+          (controlled_phase (Float.pi /. float_of_int (1 lsl k)) j i)
+    done
+  done;
+  if reverse then
+    for q = 0 to (n / 2) - 1 do
+      Circuit.add b Gate.Swap [ q; n - 1 - q ]
+    done;
+  Circuit.finish b

@@ -1,0 +1,22 @@
+(** Quantum Fourier Transform circuits.
+
+    The canonical structured kernel beyond the paper's Table II suite:
+    a dense ladder of controlled-phase rotations whose angles shrink
+    geometrically, ending (optionally) in the bit-reversal SWAP network.
+    Controlled phases are decomposed into the CNOT + Rz identity
+
+    {v CP(theta) = (Rz(t/2) (x) Rz(t/2)) CNOT (I (x) Rz(-t/2)) CNOT v}
+
+    (exact up to global phase, verified in the test suite), so the circuit
+    uses only gates the rest of the toolchain understands. *)
+
+val controlled_phase : float -> int -> int -> (Gate.t * int list) list
+(** [controlled_phase theta c t]: the CP(theta) gadget on control [c] and
+    target [t]. *)
+
+val circuit : ?approximation:int -> ?reverse:bool -> n:int -> unit -> Circuit.t
+(** [circuit ~n ()]: QFT on [n >= 1] qubits.  [approximation] (default 0 =
+    exact) drops controlled phases with angle below [pi / 2^approximation],
+    the standard approximate-QFT truncation; [reverse] (default true)
+    includes the final bit-reversal SWAPs.
+    @raise Invalid_argument if [n < 1] or [approximation < 0]. *)

@@ -1,0 +1,28 @@
+let validate ?(layers = 2) ~n () =
+  if n < 2 then invalid_arg "Qgan.circuit: needs at least 2 qubits";
+  if layers < 1 then invalid_arg "Qgan.circuit: needs at least 1 layer";
+  layers
+
+let n_parameters ?layers ~n () =
+  let layers = validate ?layers ~n () in
+  (* initial Ry layer + per block (Ry + Rz) on every qubit *)
+  n + (layers * 2 * n)
+
+let circuit rng ?layers ~n () =
+  let layers = validate ?layers ~n () in
+  let b = Circuit.builder n in
+  let angle () = Rng.uniform rng 0.0 (2.0 *. Float.pi) in
+  for q = 0 to n - 1 do
+    Circuit.add b (Gate.Ry (angle ())) [ q ]
+  done;
+  for _ = 1 to layers do
+    (* entangling ladder *)
+    for q = 0 to n - 2 do
+      Circuit.add b Gate.Cnot [ q; q + 1 ]
+    done;
+    for q = 0 to n - 1 do
+      Circuit.add b (Gate.Ry (angle ())) [ q ];
+      Circuit.add b (Gate.Rz (angle ())) [ q ]
+    done
+  done;
+  Circuit.finish b

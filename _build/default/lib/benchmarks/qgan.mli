@@ -1,0 +1,16 @@
+(** Quantum GAN generator circuits (paper Table II, QGAN(n)).
+
+    The generator of a quantum generative adversarial network over training
+    data of dimension 2^n is a hardware-efficient variational ansatz (after
+    Lloyd & Weedbrook 2018 / Zoufal et al.): alternating layers of
+    single-qubit Ry/Rz rotations and a CNOT entangling ladder.  Rotation
+    angles are drawn from the supplied generator (a trained or initialised
+    parameter vector). *)
+
+val circuit : Rng.t -> ?layers:int -> n:int -> unit -> Circuit.t
+(** [circuit rng ~n ()] builds the ansatz on [n >= 2] qubits with [layers]
+    entangling blocks (default 2).
+    @raise Invalid_argument if [n < 2] or [layers < 1]. *)
+
+val n_parameters : ?layers:int -> n:int -> unit -> int
+(** Number of rotation parameters the ansatz consumes. *)

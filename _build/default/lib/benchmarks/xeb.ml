@@ -1,0 +1,37 @@
+let single_qubit_set = [ Gate.Sx; Gate.Sy; Gate.Sw ]
+
+let circuit rng ?(two_qubit_gate = Gate.Iswap) ~graph ~classes ~cycles () =
+  if cycles < 1 then invalid_arg "Xeb.circuit: needs at least 1 cycle";
+  if not (Gate.is_two_qubit two_qubit_gate) then
+    invalid_arg "Xeb.circuit: two_qubit_gate must be a two-qubit gate";
+  let n = Graph.n_vertices graph in
+  Graph.iter_edges
+    (fun u v ->
+      if not (List.mem_assoc (min u v, max u v) classes) then
+        invalid_arg (Printf.sprintf "Xeb.circuit: coupling (%d,%d) has no class" u v))
+    graph;
+  let n_classes =
+    1 + List.fold_left (fun acc (_, c) -> max acc c) 0 classes
+  in
+  let b = Circuit.builder n in
+  let previous = Array.make n (-1) in
+  let gates = Array.of_list single_qubit_set in
+  for cycle = 0 to cycles - 1 do
+    (* random single-qubit layer, never repeating the last choice *)
+    for q = 0 to n - 1 do
+      let pick () = Rng.int rng (Array.length gates) in
+      let rec fresh () =
+        let k = pick () in
+        if k = previous.(q) then fresh () else k
+      in
+      let k = fresh () in
+      previous.(q) <- k;
+      Circuit.add b gates.(k) [ q ]
+    done;
+    (* one activation class of couplings *)
+    let active_class = cycle mod n_classes in
+    List.iter
+      (fun ((u, v), c) -> if c = active_class then Circuit.add b two_qubit_gate [ u; v ])
+      classes
+  done;
+  Circuit.finish b

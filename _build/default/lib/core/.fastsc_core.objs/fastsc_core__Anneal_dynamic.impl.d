@@ -1,0 +1,1 @@
+lib/core/anneal_dynamic.ml: Array Device Float Freq_alloc Gate Hashtbl List Partition Pending Rng Schedule Step_builder

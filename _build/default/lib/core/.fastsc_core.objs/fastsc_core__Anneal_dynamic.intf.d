@@ -1,0 +1,1 @@
+lib/core/anneal_dynamic.mli: Circuit Device Schedule

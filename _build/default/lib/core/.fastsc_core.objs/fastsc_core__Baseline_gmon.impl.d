@@ -1,0 +1,1 @@
+lib/core/baseline_gmon.ml: Array Coloring Device Freq_alloc Gate Hashtbl Line_graph List Option Pending Schedule Step_builder String Topology

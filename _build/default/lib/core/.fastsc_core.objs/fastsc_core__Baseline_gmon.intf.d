@@ -1,0 +1,1 @@
+lib/core/baseline_gmon.mli: Circuit Device Schedule

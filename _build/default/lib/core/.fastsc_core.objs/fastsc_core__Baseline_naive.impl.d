@@ -1,0 +1,1 @@
+lib/core/baseline_naive.ml: Freq_alloc Layers List Schedule Step_builder

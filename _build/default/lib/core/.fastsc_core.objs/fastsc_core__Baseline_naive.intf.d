@@ -1,0 +1,1 @@
+lib/core/baseline_naive.mli: Circuit Device Schedule

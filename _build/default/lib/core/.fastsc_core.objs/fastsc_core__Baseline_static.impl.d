@@ -1,0 +1,1 @@
+lib/core/baseline_static.ml: Array Coloring Crosstalk_graph Device Freq_alloc Gate Layers List Schedule Step_builder

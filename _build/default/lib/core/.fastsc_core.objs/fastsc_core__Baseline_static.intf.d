@@ -1,0 +1,1 @@
+lib/core/baseline_static.mli: Circuit Device Schedule

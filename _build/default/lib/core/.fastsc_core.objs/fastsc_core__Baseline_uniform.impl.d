@@ -1,0 +1,1 @@
+lib/core/baseline_uniform.ml: Array Crosstalk_graph Device Freq_alloc Gate List Pending Schedule Step_builder

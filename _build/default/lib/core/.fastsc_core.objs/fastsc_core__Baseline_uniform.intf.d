@@ -1,0 +1,1 @@
+lib/core/baseline_uniform.mli: Circuit Device Schedule

@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Array Coloring Crosstalk_graph Device Fastsc_physics Float Format Freq_alloc Gate Graph Json List Printf Topology Transmon

@@ -1,0 +1,1 @@
+lib/core/color_dynamic.ml: Array Coloring Crosstalk_graph Device Freq_alloc Gate Hashtbl List Option Pending Schedule Step_builder

@@ -1,0 +1,1 @@
+lib/core/color_dynamic.mli: Circuit Coloring Device Graph Schedule

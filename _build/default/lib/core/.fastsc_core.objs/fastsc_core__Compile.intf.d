@@ -1,0 +1,1 @@
+lib/core/compile.mli: Circuit Color_dynamic Decompose Device Schedule

@@ -1,0 +1,1 @@
+lib/core/control.ml: Array Device Fastsc_physics Float Format List Printf Schedule Transmon

@@ -1,0 +1,1 @@
+lib/core/crosstalk_graph.ml: Array Graph Line_graph List Paths

@@ -1,0 +1,1 @@
+lib/core/crosstalk_graph.mli: Graph

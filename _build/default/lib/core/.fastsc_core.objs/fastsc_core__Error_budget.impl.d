@@ -1,0 +1,1 @@
+lib/core/error_budget.ml: Array Decoherence Device Format Gate List Option Schedule

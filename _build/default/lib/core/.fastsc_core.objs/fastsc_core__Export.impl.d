@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Control Device Gate Graph Json List Schedule Topology

@@ -1,0 +1,1 @@
+lib/core/export.mli: Control Json Schedule

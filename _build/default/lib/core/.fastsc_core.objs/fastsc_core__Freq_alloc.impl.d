@@ -1,0 +1,1 @@
+lib/core/freq_alloc.ml: Array Coloring Device Fastsc_smt Float Fun List Option Partition

@@ -1,0 +1,1 @@
+lib/core/freq_alloc.mli: Coloring Device

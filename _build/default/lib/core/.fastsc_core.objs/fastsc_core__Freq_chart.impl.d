@@ -1,0 +1,1 @@
+lib/core/freq_chart.ml: Array Char Device Float List Option Partition Printf Schedule String

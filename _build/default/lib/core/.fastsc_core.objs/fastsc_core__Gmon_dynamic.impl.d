@@ -1,0 +1,1 @@
+lib/core/gmon_dynamic.ml: Color_dynamic Schedule

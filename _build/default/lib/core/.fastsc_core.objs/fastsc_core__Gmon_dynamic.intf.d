@@ -1,0 +1,1 @@
+lib/core/gmon_dynamic.mli: Circuit Color_dynamic Device Schedule

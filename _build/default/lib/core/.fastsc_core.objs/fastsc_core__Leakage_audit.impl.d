@@ -1,0 +1,1 @@
+lib/core/leakage_audit.ml: Array Device Fastsc_physics Float Gate List Multi_transmon Schedule Transmon

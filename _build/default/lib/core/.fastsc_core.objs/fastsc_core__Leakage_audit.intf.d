@@ -1,0 +1,1 @@
+lib/core/leakage_audit.mli: Device Gate Schedule

@@ -1,0 +1,1 @@
+lib/core/pending.ml: Array Circuit Gate Int Layers List Printf Queue Set

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Crosstalk Decoherence Device Fastsc_physics Fastsc_quantum Float Format Gate Graph List Printf String Success Transmon

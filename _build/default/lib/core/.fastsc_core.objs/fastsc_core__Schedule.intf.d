@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Decoherence Device Fastsc_quantum Format Gate

@@ -1,0 +1,1 @@
+lib/core/step_builder.ml: Array Device Fastsc_physics Float Gate List Partition Schedule Transmon

@@ -1,0 +1,1 @@
+lib/core/step_builder.mli: Device Gate Schedule

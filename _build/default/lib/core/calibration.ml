@@ -1,0 +1,198 @@
+open Fastsc_physics
+
+type qubit_cal = {
+  qubit : int;
+  idle_freq : float;
+  idle_flux : float;
+  idle_sensitivity : float;
+  t1 : float;
+  t2 : float;
+}
+
+type pair_cal = {
+  pair : int * int;
+  color : int;
+  iswap_freq : float;
+  iswap_fluxes : float * float;
+  iswap_time : float;
+  sqrt_iswap_time : float;
+  cz_freqs : float * float;
+  cz_fluxes : float * float;
+  cz_time : float;
+}
+
+type t = {
+  device : Device.t;
+  qubits : qubit_cal array;
+  pairs : pair_cal list;
+  n_colors : int;
+}
+
+let flux_of device q freq =
+  let tr = Device.transmon device q in
+  let clamped = Float.max tr.Transmon.omega_min (Float.min tr.Transmon.omega_max freq) in
+  Transmon.flux_for_freq tr clamped
+
+let generate ?(crosstalk_distance = 1) device =
+  let idle_freqs = Freq_alloc.idle_per_qubit device in
+  let qubits =
+    Array.init (Device.n_qubits device) (fun q ->
+        let idle_flux = flux_of device q idle_freqs.(q) in
+        {
+          qubit = q;
+          idle_freq = idle_freqs.(q);
+          idle_flux;
+          idle_sensitivity =
+            Transmon.flux_sensitivity (Device.transmon device q) ~flux:idle_flux;
+          t1 = Device.t1 device q;
+          t2 = Device.t2 device q;
+        })
+  in
+  let xg = Crosstalk_graph.build ~distance:crosstalk_distance (Device.graph device) in
+  let coloring = Coloring.welsh_powell xg.Crosstalk_graph.graph in
+  let n_colors = Coloring.n_colors coloring in
+  let multiplicity = Array.make n_colors 0 in
+  Array.iter (fun c -> multiplicity.(c) <- multiplicity.(c) + 1) coloring;
+  let assignment = Freq_alloc.interaction device ~n_colors ~multiplicity in
+  let pairs =
+    Array.to_list xg.Crosstalk_graph.edge_of_vertex
+    |> List.mapi (fun v (a, b) ->
+           let color = coloring.(v) in
+           let freq = assignment.Freq_alloc.freqs.(color) in
+           let alpha_b = Transmon.anharmonicity (Device.transmon device b) in
+           let cz_first = freq +. alpha_b and cz_second = freq in
+           {
+             pair = (a, b);
+             color;
+             iswap_freq = freq;
+             iswap_fluxes = (flux_of device a freq, flux_of device b freq);
+             iswap_time = Device.gate_time device Gate.Iswap;
+             sqrt_iswap_time = Device.gate_time device Gate.Sqrt_iswap;
+             cz_freqs = (cz_first, cz_second);
+             cz_fluxes = (flux_of device a cz_first, flux_of device b cz_second);
+             cz_time = Device.gate_time device Gate.Cz;
+           })
+  in
+  { device; qubits; pairs; n_colors }
+
+let check t =
+  let exception Bad of string in
+  try
+    let within q freq =
+      let lo, hi = Device.tunable_range t.device q in
+      if freq < lo -. 1e-9 || freq > hi +. 1e-9 then
+        raise (Bad (Printf.sprintf "qubit %d: %.4f outside tunable range" q freq))
+    in
+    let flux_consistent q freq flux =
+      let reproduced = Transmon.freq_01 (Device.transmon t.device q) ~flux in
+      if Float.abs (reproduced -. freq) > 1e-6 then
+        raise
+          (Bad
+             (Printf.sprintf "qubit %d: flux %.4f gives %.6f, expected %.6f" q flux reproduced
+                freq))
+    in
+    Array.iter
+      (fun qc ->
+        within qc.qubit qc.idle_freq;
+        flux_consistent qc.qubit qc.idle_freq qc.idle_flux)
+      t.qubits;
+    List.iter
+      (fun pc ->
+        let a, b = pc.pair in
+        within a pc.iswap_freq;
+        within b pc.iswap_freq;
+        let fa, fb = pc.iswap_fluxes in
+        flux_consistent a pc.iswap_freq fa;
+        flux_consistent b pc.iswap_freq fb;
+        let ca, cb = pc.cz_freqs in
+        within a ca;
+        within b cb;
+        let cfa, cfb = pc.cz_fluxes in
+        flux_consistent a ca cfa;
+        flux_consistent b cb cfb)
+      t.pairs;
+    (* same color <-> same iSWAP frequency; crosstalk-adjacent couplings
+       never share one *)
+    let xg = Crosstalk_graph.build (Device.graph t.device) in
+    let by_vertex = Array.of_list t.pairs in
+    Array.iteri
+      (fun v pc ->
+        List.iter
+          (fun u ->
+            if u > v then begin
+              let other = by_vertex.(u) in
+              if Float.abs (pc.iswap_freq -. other.iswap_freq) < 1e-9 then
+                raise
+                  (Bad
+                     (Printf.sprintf "crosstalk-adjacent couplings share frequency %.4f"
+                        pc.iswap_freq))
+            end)
+          (Graph.neighbors xg.Crosstalk_graph.graph v))
+      by_vertex;
+    List.iter
+      (fun pc ->
+        List.iter
+          (fun other ->
+            if other.color = pc.color && Float.abs (other.iswap_freq -. pc.iswap_freq) > 1e-9
+            then raise (Bad "same color, different frequency"))
+          t.pairs)
+      t.pairs;
+    Ok ()
+  with Bad msg -> Error msg
+
+let to_json t =
+  Json.Obj
+    [
+      ("topology", Json.String (Device.topology t.device).Topology.name);
+      ("n_colors", Json.Int t.n_colors);
+      ( "qubits",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun qc ->
+                  Json.Obj
+                    [
+                      ("qubit", Json.Int qc.qubit);
+                      ("idle_freq_ghz", Json.Float qc.idle_freq);
+                      ("idle_flux", Json.Float qc.idle_flux);
+                      ("idle_sensitivity", Json.Float qc.idle_sensitivity);
+                      ("t1_ns", Json.Float qc.t1);
+                      ("t2_ns", Json.Float qc.t2);
+                    ])
+                t.qubits)) );
+      ( "pairs",
+        Json.List
+          (List.map
+             (fun pc ->
+               let a, b = pc.pair in
+               let fa, fb = pc.iswap_fluxes in
+               let ca, cb = pc.cz_freqs in
+               Json.Obj
+                 [
+                   ("pair", Json.List [ Json.Int a; Json.Int b ]);
+                   ("color", Json.Int pc.color);
+                   ("iswap_freq_ghz", Json.Float pc.iswap_freq);
+                   ("iswap_fluxes", Json.List [ Json.Float fa; Json.Float fb ]);
+                   ("iswap_time_ns", Json.Float pc.iswap_time);
+                   ("sqrt_iswap_time_ns", Json.Float pc.sqrt_iswap_time);
+                   ("cz_freqs_ghz", Json.List [ Json.Float ca; Json.Float cb ]);
+                   ("cz_time_ns", Json.Float pc.cz_time);
+                 ])
+             t.pairs) );
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>calibration for %s (%d colors)@,"
+    (Device.topology t.device).Topology.name t.n_colors;
+  Array.iter
+    (fun qc ->
+      Format.fprintf fmt "q%-2d idle %.4f GHz @@ flux %.4f (T1 %.1f us, T2 %.1f us)@,"
+        qc.qubit qc.idle_freq qc.idle_flux (qc.t1 /. 1000.0) (qc.t2 /. 1000.0))
+    t.qubits;
+  List.iter
+    (fun pc ->
+      let a, b = pc.pair in
+      Format.fprintf fmt "(%d,%d) color %d: iswap %.4f GHz / %.1f ns, cz %.1f ns@," a b
+        pc.color pc.iswap_freq pc.iswap_time pc.cz_time)
+    t.pairs;
+  Format.fprintf fmt "@]"

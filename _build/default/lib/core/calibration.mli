@@ -1,0 +1,52 @@
+(** Device calibration tables.
+
+    The paper's conclusion frames ColorDynamic's machinery as "a generic
+    calibration problem for isolating or interacting qubits" (§VIII).  This
+    module produces that calibration for a whole device, program-independent:
+    per qubit, the parking frequency and its flux bias; per coupling, the
+    statically-colored interaction frequencies for iSWAP and CZ with the flux
+    pair each qubit must be driven to and the hold times — everything a
+    bring-up procedure needs before any program is compiled. *)
+
+type qubit_cal = {
+  qubit : int;
+  idle_freq : float;  (** GHz. *)
+  idle_flux : float;  (** Flux quanta. *)
+  idle_sensitivity : float;  (** |d omega/d flux| at the parking point. *)
+  t1 : float;
+  t2 : float;
+}
+
+type pair_cal = {
+  pair : int * int;
+  color : int;  (** Static crosstalk-graph color of this coupling. *)
+  iswap_freq : float;  (** Shared resonance frequency for the iSWAP family. *)
+  iswap_fluxes : float * float;
+  iswap_time : float;  (** ns, including retuning overhead. *)
+  sqrt_iswap_time : float;
+  cz_freqs : float * float;  (** (first, second) 0-1 frequencies on CZ resonance. *)
+  cz_fluxes : float * float;
+  cz_time : float;
+}
+
+type t = {
+  device : Device.t;
+  qubits : qubit_cal array;
+  pairs : pair_cal list;
+  n_colors : int;  (** Colors of the full crosstalk graph. *)
+}
+
+val generate : ?crosstalk_distance:int -> Device.t -> t
+(** Build the calibration: idle plan from the connectivity coloring,
+    interaction plan from the static crosstalk-graph coloring. *)
+
+val check : t -> (unit, string) result
+(** Physical invariants: every frequency within its qubit's tunable range,
+    every flux bias reproduces its frequency through the transmon model,
+    same-color couplings share their iSWAP frequency, and couplings adjacent
+    in the crosstalk graph never do. *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable calibration report. *)

@@ -1,0 +1,71 @@
+(** Front door of the compiler: algorithm zoo + shared pipeline
+    (paper Table I, §VI-A).
+
+    [run] takes a {e logical} circuit (arbitrary qubit pairs, CNOT/SWAP
+    allowed), routes it onto the device ({!Fastsc_quantum.Mapping}),
+    decomposes it into native gates ({!Fastsc_quantum.Decompose}), and
+    schedules it with the selected algorithm.  All evaluation figures of the
+    paper drive this entry point. *)
+
+type algorithm =
+  | Naive  (** Baseline N. *)
+  | Gmon  (** Baseline G (tunable couplers). *)
+  | Uniform  (** Baseline U (single frequency + serialization). *)
+  | Static  (** Baseline S (static crosstalk-graph coloring). *)
+  | Color_dynamic  (** This work. *)
+  | Gmon_dynamic
+      (** Extension (paper §VIII): ColorDynamic scheduling on tunable-coupler
+          hardware. *)
+  | Anneal_dynamic
+      (** Extension (paper §III's [31] comparison): direct per-step frequency
+          annealing, Snake-optimizer style. *)
+
+val all_algorithms : algorithm list
+(** The five algorithms of Table I (evaluation columns). *)
+
+val extended_algorithms : algorithm list
+(** Table I plus the {!Gmon_dynamic} extension. *)
+
+val algorithm_to_string : algorithm -> string
+
+val algorithm_of_string : string -> algorithm option
+
+type options = {
+  decomposition : Decompose.strategy;  (** Default [Hybrid] (§V-B5). *)
+  crosstalk_distance : int;  (** The [d] of G_x^(d); default 1. *)
+  max_colors : int option;  (** Per-step color cap (Fig 11); default none. *)
+  conflict_threshold : int;  (** noise_conflict neighbour cap; default 2. *)
+  residual_coupling : float;  (** Gmon coupler leakage eta (Fig 12); default 0. *)
+  placement : [ `Identity | `Degree | `Coherence | `Auto ];
+      (** Initial mapping heuristic; [`Auto] (default) routes with identity
+          and degree placements and keeps whichever inserts fewer SWAPs —
+          device-native circuits (XEB) stay in place, hub-shaped circuits
+          (BV) get packed.  [`Coherence] is the variability-aware policy:
+          busiest logical qubits on the best-coherence physical qubits
+          (matters when the device has spare qubits). *)
+  optimize : bool;
+      (** Run the peephole optimizer ({!Optimize}) after decomposition;
+          default false so the evaluation matches the paper's unoptimized
+          pipeline (the `ablate-optimize` bench measures the benefit). *)
+  router : [ `Greedy | `Lookahead ];
+      (** SWAP-insertion strategy: per-gate shortest paths, or SABRE-style
+          lookahead scoring (default; the `ablate-router` bench measures the
+          difference). *)
+}
+
+val default_options : options
+
+val prepare : options -> Device.t -> Circuit.t -> Circuit.t
+(** Route + decompose: returns the physical native-gate circuit every
+    scheduler consumes.  Exposed so ablations can share one preparation. *)
+
+val schedule_native : options -> algorithm -> Device.t -> Circuit.t -> Schedule.t
+(** Schedule an already-prepared (routed, native) circuit. *)
+
+val run : ?options:options -> algorithm -> Device.t -> Circuit.t -> Schedule.t
+(** The full pipeline. *)
+
+val run_with_stats :
+  ?options:options -> Device.t -> Circuit.t -> Schedule.t * Color_dynamic.stats
+(** ColorDynamic with its per-compilation statistics (color counts for
+    Fig 13). *)

@@ -1,0 +1,34 @@
+type t = {
+  graph : Graph.t;
+  edge_of_vertex : (int * int) array;
+  distance : int;
+}
+
+let build ?(distance = 1) connectivity =
+  if distance < 1 then invalid_arg "Crosstalk_graph.build: distance must be >= 1";
+  let line, edge_of_vertex = Line_graph.build connectivity in
+  (* Algorithm 2: beyond shared endpoints (already in the line graph), connect
+     couplings whose endpoints are within [distance] of each other. *)
+  let dist = Paths.all_pairs connectivity in
+  let m = Array.length edge_of_vertex in
+  for i = 0 to m - 1 do
+    let u1, v1 = edge_of_vertex.(i) in
+    for j = i + 1 to m - 1 do
+      let u2, v2 = edge_of_vertex.(j) in
+      let within a b = dist.(a).(b) >= 0 && dist.(a).(b) <= distance in
+      if within u1 u2 || within u1 v2 || within v1 u2 || within v1 v2 then
+        Graph.add_edge line i j
+    done
+  done;
+  { graph = line; edge_of_vertex; distance }
+
+let vertex_of_pair t pair = Line_graph.vertex_of_edge t.edge_of_vertex pair
+
+let conflict_count t v active =
+  List.fold_left
+    (fun acc u -> if u <> v && Graph.mem_edge t.graph v u then acc + 1 else acc)
+    0 active
+
+let active_subgraph t active = Graph.subgraph t.graph active
+
+let max_colors_mesh = 8

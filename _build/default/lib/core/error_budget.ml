@@ -1,0 +1,86 @@
+type step_budget = {
+  index : int;
+  duration : float;
+  n_gates : int;
+  n_two_qubit : int;
+  gate_error : float;
+  crosstalk_error : float;
+}
+
+type t = {
+  steps : step_budget list;
+  decoherence_per_qubit : float array;
+  totals : Schedule.metrics;
+}
+
+let compute ?worst_case ?crosstalk_distance ?decoherence schedule =
+  let steps =
+    List.mapi
+      (fun index step ->
+        let gate_error, crosstalk_error =
+          Schedule.step_errors ?worst_case ?crosstalk_distance schedule step
+        in
+        {
+          index;
+          duration = step.Schedule.duration;
+          n_gates = List.length step.Schedule.gates;
+          n_two_qubit =
+            List.length
+              (List.filter (fun g -> Gate.is_two_qubit g.Gate.gate) step.Schedule.gates);
+          gate_error;
+          crosstalk_error;
+        })
+      schedule.Schedule.steps
+  in
+  let total = Schedule.total_time schedule in
+  let device = schedule.Schedule.device in
+  (* same default model as Schedule.evaluate (standard exponential); spare
+     qubits carry no program state and lose nothing *)
+  let model = Option.value decoherence ~default:Decoherence.Exponential in
+  let used = Schedule.used_qubits schedule in
+  let decoherence_per_qubit =
+    Array.init (Device.n_qubits device) (fun q ->
+        if List.mem q used then
+          Decoherence.error ~model ~t1:(Device.t1 device q) ~t2:(Device.t2 device q) ~t:total ()
+        else 0.0)
+  in
+  {
+    steps;
+    decoherence_per_qubit;
+    totals = Schedule.evaluate ?worst_case ?crosstalk_distance ?decoherence schedule;
+  }
+
+let hotspots ?(limit = 5) t =
+  let ranked =
+    List.sort
+      (fun a b ->
+        compare (b.gate_error +. b.crosstalk_error) (a.gate_error +. a.crosstalk_error))
+      t.steps
+  in
+  List.filteri (fun i _ -> i < limit) ranked
+
+let worst_qubit t =
+  if Array.length t.decoherence_per_qubit = 0 then
+    invalid_arg "Error_budget.worst_qubit: no qubits";
+  let best = ref 0 in
+  Array.iteri
+    (fun q e -> if e > t.decoherence_per_qubit.(!best) then best := q)
+    t.decoherence_per_qubit;
+  (!best, t.decoherence_per_qubit.(!best))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>error budget: log10 success %.2f over %d steps@,"
+    t.totals.Schedule.log10_success (List.length t.steps);
+  Format.fprintf fmt "gate %.3e | crosstalk %.3e | decoherence %.3e@,"
+    t.totals.Schedule.gate_error t.totals.Schedule.crosstalk_error
+    t.totals.Schedule.decoherence_error;
+  Format.fprintf fmt "hotspot steps:@,";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  step %3d: %d gates (%d 2q), gate %.2e, crosstalk %.2e@," s.index
+        s.n_gates s.n_two_qubit s.gate_error s.crosstalk_error)
+    (hotspots t);
+  (if Array.length t.decoherence_per_qubit > 0 then
+     let q, e = worst_qubit t in
+     Format.fprintf fmt "worst qubit: q%d loses %.3e to decoherence@," q e);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,40 @@
+(** Per-step error budgets.
+
+    Where does a compiled program actually lose its success probability?
+    This report splits the eq 4 estimate across the schedule: every step's
+    gate-control and crosstalk contributions, plus the per-qubit decoherence
+    over the program — so a user can see {e which} scheduling decisions cost
+    the most and iterate (throttle a step's parallelism, re-place a hot
+    qubit, shorten the critical path). *)
+
+type step_budget = {
+  index : int;
+  duration : float;
+  n_gates : int;
+  n_two_qubit : int;
+  gate_error : float;
+  crosstalk_error : float;
+}
+
+type t = {
+  steps : step_budget list;  (** In schedule order. *)
+  decoherence_per_qubit : float array;
+  totals : Schedule.metrics;
+}
+
+val compute :
+  ?worst_case:bool ->
+  ?crosstalk_distance:int ->
+  ?decoherence:Decoherence.model ->
+  Schedule.t -> t
+
+val hotspots : ?limit:int -> t -> step_budget list
+(** Steps ordered by combined (gate + crosstalk) error, worst first;
+    [limit] defaults to 5. *)
+
+val worst_qubit : t -> int * float
+(** The qubit losing the most to decoherence.
+    @raise Invalid_argument on a zero-qubit budget. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the totals, the hotspot steps and the worst qubit. *)

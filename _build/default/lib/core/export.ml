@@ -1,0 +1,94 @@
+let float_array values = Json.List (List.map (fun v -> Json.Float v) (Array.to_list values))
+
+let gate_json app =
+  Json.Obj
+    [
+      ("gate", Json.String (Gate.name app.Gate.gate));
+      ( "qubits",
+        Json.List (List.map (fun q -> Json.Int q) (Array.to_list app.Gate.qubits)) );
+    ]
+
+let step_json step =
+  Json.Obj
+    [
+      ("duration_ns", Json.Float step.Schedule.duration);
+      ("gates", Json.List (List.map gate_json step.Schedule.gates));
+      ( "interacting",
+        Json.List
+          (List.map
+             (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ])
+             step.Schedule.interacting) );
+      ("frequencies_ghz", float_array step.Schedule.freqs);
+    ]
+
+let coupler_json = function
+  | Schedule.Fixed_coupler -> Json.String "fixed"
+  | Schedule.Tunable_coupler eta ->
+    Json.Obj [ ("tunable", Json.Bool true); ("residual_coupling", Json.Float eta) ]
+
+let schedule s =
+  let device = s.Schedule.device in
+  let lo, hi = Device.common_range device in
+  Json.Obj
+    [
+      ("algorithm", Json.String s.Schedule.algorithm);
+      ( "device",
+        Json.Obj
+          [
+            ("topology", Json.String (Device.topology device).Topology.name);
+            ("qubits", Json.Int (Device.n_qubits device));
+            ("couplings", Json.Int (Graph.n_edges (Device.graph device)));
+            ("seed", Json.Int (Device.seed device));
+            ("common_range_ghz", Json.List [ Json.Float lo; Json.Float hi ]);
+            ("g0_ghz", Json.Float (Device.params device).Device.g0);
+          ] );
+      ("coupler", coupler_json s.Schedule.coupler);
+      ("idle_frequencies_ghz", float_array s.Schedule.idle_freqs);
+      ("steps", Json.List (List.map step_json s.Schedule.steps));
+    ]
+
+let metrics (m : Schedule.metrics) =
+  Json.Obj
+    [
+      ("success", Json.Float m.Schedule.success);
+      ("log10_success", Json.Float m.Schedule.log10_success);
+      ("gate_error", Json.Float m.Schedule.gate_error);
+      ("crosstalk_error", Json.Float m.Schedule.crosstalk_error);
+      ("decoherence_error", Json.Float m.Schedule.decoherence_error);
+      ("depth", Json.Int m.Schedule.depth);
+      ("total_time_ns", Json.Float m.Schedule.total_time);
+      ("n_gates", Json.Int m.Schedule.n_gates);
+      ("n_two_qubit", Json.Int m.Schedule.n_two_qubit);
+    ]
+
+let segment_json = function
+  | Control.Hold { flux; duration } ->
+    Json.Obj [ ("hold", Json.Float flux); ("duration_ns", Json.Float duration) ]
+  | Control.Ramp { flux_from; flux_to; duration } ->
+    Json.Obj
+      [
+        ("ramp_from", Json.Float flux_from);
+        ("ramp_to", Json.Float flux_to);
+        ("duration_ns", Json.Float duration);
+      ]
+
+let waveforms ws =
+  Json.List
+    (Array.to_list
+       (Array.mapi
+          (fun q w ->
+            Json.Obj
+              [ ("qubit", Json.Int q); ("segments", Json.List (List.map segment_json w)) ])
+          ws))
+
+let bundle ?(include_waveforms = true) s =
+  let base =
+    [ ("schedule", schedule s); ("metrics", metrics (Schedule.evaluate s)) ]
+  in
+  let fields =
+    if include_waveforms then base @ [ ("waveforms", waveforms (Control.lower s)) ]
+    else base
+  in
+  Json.Obj fields
+
+let to_string = Json.to_string ~pretty:true

@@ -1,0 +1,22 @@
+(** JSON export of compilation artifacts.
+
+    The hand-off format between this compiler and external tooling: the full
+    schedule (gates, frequencies, resonant pairs, durations per step), its
+    evaluated metrics, and the lowered per-qubit flux waveforms — everything
+    a control stack or a plotting script needs, in one self-describing
+    document. *)
+
+val schedule : Schedule.t -> Json.t
+(** Device summary, idle frequencies, coupler model, and every step. *)
+
+val metrics : Schedule.metrics -> Json.t
+
+val waveforms : Control.waveform array -> Json.t
+
+val bundle : ?include_waveforms:bool -> Schedule.t -> Json.t
+(** The complete artifact: [schedule], [metrics] (evaluated with defaults)
+    and, with [include_waveforms] (default true), the lowered pulses. *)
+
+val to_string : Json.t -> string
+(** Pretty-printed serialization (re-exported for callers that only use this
+    module). *)

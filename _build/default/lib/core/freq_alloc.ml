@@ -1,0 +1,93 @@
+type assignment = { freqs : float array; delta : float }
+
+let solve_separated ~lo ~hi ~alpha ~order n =
+  let problem = Fastsc_smt.Smt.create ~lo ~hi n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* eq 2: direct separation; eq 3: anharmonicity sidebands both ways *)
+      Fastsc_smt.Smt.add_separation problem i j;
+      Fastsc_smt.Smt.add_separation ~offset:alpha problem i j;
+      Fastsc_smt.Smt.add_separation ~offset:alpha problem j i
+    done
+  done;
+  match Fastsc_smt.Smt.find_max_delta ?order problem with
+  | Some (delta, freqs) -> { freqs; delta }
+  | None -> failwith "Freq_alloc: no feasible frequency assignment"
+
+(* Rigid translation preserves every pairwise separation and lets the
+   assignment hug one end of its band: idle frequencies sink toward the low
+   sweet spot, interaction frequencies rise toward the high one (faster
+   gates, larger detuning from parked qubits — §V-B3). *)
+let shift_to ~target_min:anchor freqs =
+  match Array.length freqs with
+  | 0 -> freqs
+  | _ ->
+    let current = Array.fold_left Float.min infinity freqs in
+    Array.map (fun f -> f -. current +. anchor) freqs
+
+let shift_to_max ~target_max:anchor freqs =
+  match Array.length freqs with
+  | 0 -> freqs
+  | _ ->
+    let current = Array.fold_left Float.max neg_infinity freqs in
+    Array.map (fun f -> f -. current +. anchor) freqs
+
+let idle device =
+  let g = Device.graph device in
+  let coloring =
+    match Coloring.two_color g with
+    | Some c -> c
+    | None -> Coloring.welsh_powell g
+  in
+  let n = Coloring.n_colors coloring in
+  let partition = Device.partition device in
+  let alpha = -.(Device.params device).Device.anharmonicity in
+  let assignment =
+    solve_separated ~lo:partition.Partition.parking_lo ~hi:partition.Partition.parking_hi
+      ~alpha ~order:None (max n 1)
+  in
+  ( coloring,
+    {
+      assignment with
+      freqs = shift_to ~target_min:partition.Partition.parking_lo assignment.freqs;
+    } )
+
+let idle_per_qubit device =
+  let coloring, assignment = idle device in
+  Array.init (Device.n_qubits device) (fun q -> assignment.freqs.(coloring.(q)))
+
+let interaction ?lo ?hi device ~n_colors ~multiplicity =
+  if Array.length multiplicity <> n_colors then
+    invalid_arg "Freq_alloc.interaction: multiplicity size mismatch";
+  let partition = Device.partition device in
+  (* The bottom |alpha| of the interaction region is reserved for CZ
+     partner qubits (which sit one anharmonicity below their color), so
+     no active qubit ever sags into the exclusion band toward the parked
+     sidebands. *)
+  let reserved = (Device.params device).Device.anharmonicity in
+  let lo =
+    Option.value lo ~default:(partition.Partition.interaction_lo +. reserved)
+  in
+  let hi = Option.value hi ~default:partition.Partition.interaction_hi in
+  let lo = Float.min lo hi in
+  let alpha = -.(Device.params device).Device.anharmonicity in
+  if n_colors = 0 then { freqs = [||]; delta = hi -. lo }
+  else begin
+    (* Total ordering by multiplicity, ascending: the solver places variables
+       in non-decreasing frequency order, so the busiest color ends highest. *)
+    let order =
+      List.sort
+        (fun a b ->
+          match compare multiplicity.(a) multiplicity.(b) with
+          | 0 -> compare a b
+          | c -> c)
+        (List.init n_colors Fun.id)
+    in
+    let assignment = solve_separated ~lo ~hi ~alpha ~order:(Some order) n_colors in
+    { assignment with freqs = shift_to_max ~target_max:hi assignment.freqs }
+  end
+
+let spread ~lo ~hi n =
+  if n <= 0 then [||]
+  else if n = 1 then [| (lo +. hi) /. 2.0 |]
+  else Array.init n (fun k -> lo +. ((hi -. lo) *. float_of_int k /. float_of_int (n - 1)))

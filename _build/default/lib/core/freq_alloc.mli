@@ -1,0 +1,42 @@
+(** Frequency assignment from colorings via the separation solver
+    (paper §IV-C1, §V-B3).
+
+    Two instances of the same constraint problem:
+    - {e idle} (parking) frequencies: one variable per color of the device
+      connectivity graph, placed in the parking region;
+    - {e interaction} frequencies: one variable per color of the active
+      crosstalk subgraph, placed in the interaction region, ordered so that
+      busier colors receive higher frequencies (higher frequency means faster
+      gates, §V-B3).
+
+    In both cases every pair of variables must be separated by [delta] both
+    directly (eq 2) and through the anharmonicity sidebands (eq 3), and
+    [smt_find]'s binary search maximises [delta]. *)
+
+type assignment = {
+  freqs : float array;  (** [freqs.(color)] in GHz. *)
+  delta : float;  (** The achieved pairwise separation. *)
+}
+
+val idle : Device.t -> Coloring.coloring * assignment
+(** Color the connectivity graph (2 colors when bipartite, Welsh–Powell
+    otherwise) and solve for parking frequencies.
+    @raise Failure if the solver finds no feasible assignment (cannot happen
+    for sane partitions; kept as a loud invariant). *)
+
+val idle_per_qubit : Device.t -> float array
+(** Convenience over {!idle}: the parking frequency of every qubit. *)
+
+val interaction :
+  ?lo:float -> ?hi:float -> Device.t -> n_colors:int -> multiplicity:int array ->
+  assignment
+(** Solve for [n_colors] interaction frequencies; [multiplicity.(c)] is the
+    number of active couplings colored [c] and orders the result (larger
+    multiplicity, higher frequency).  [lo]/[hi] override the interaction
+    region (used by ablations).
+    @raise Invalid_argument on a size mismatch;
+    @raise Failure if infeasible. *)
+
+val spread : lo:float -> hi:float -> int -> float array
+(** Evenly spaced fallback frequencies (used by crosstalk-unaware baselines):
+    [n] values centered in [\[lo, hi\]]. *)

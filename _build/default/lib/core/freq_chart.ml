@@ -1,0 +1,37 @@
+let symbol ?(bins = 8) schedule q step =
+  let device = schedule.Schedule.device in
+  let partition = Device.partition device in
+  let f = step.Schedule.freqs.(q) in
+  if Float.abs (f -. schedule.Schedule.idle_freqs.(q)) < 1e-9 then '.'
+  else begin
+    let lo = partition.Partition.interaction_lo in
+    let hi = partition.Partition.interaction_hi in
+    if f < lo -. 1e-9 then '!' (* exclusion-band excursion: should not happen *)
+    else begin
+      let ratio = (f -. lo) /. Float.max 1e-12 (hi -. lo) in
+      let bin = min (bins - 1) (max 0 (int_of_float (ratio *. float_of_int bins))) in
+      Char.chr (Char.code 'A' + bin)
+    end
+  end
+
+let row ?bins schedule q =
+  if q < 0 || q >= Device.n_qubits schedule.Schedule.device then
+    invalid_arg "Freq_chart.row: qubit out of range";
+  let cells =
+    List.map (fun step -> String.make 1 (symbol ?bins schedule q step)) schedule.Schedule.steps
+  in
+  Printf.sprintf "q%-2d %s" q (String.concat "" cells)
+
+let render ?bins schedule =
+  let device = schedule.Schedule.device in
+  let partition = Device.partition device in
+  let rows =
+    List.init (Device.n_qubits device) (fun q -> row ?bins schedule q)
+  in
+  let legend =
+    Printf.sprintf
+      "legend: '.' parked at idle; 'A'..'%c' interaction band [%.2f, %.2f] GHz (low to high)"
+      (Char.chr (Char.code 'A' + Option.value bins ~default:8 - 1))
+      partition.Partition.interaction_lo partition.Partition.interaction_hi
+  in
+  String.concat "\n" (rows @ [ legend ])

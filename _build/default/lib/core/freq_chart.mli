@@ -1,0 +1,16 @@
+(** ASCII frequency charts of schedules.
+
+    One row per qubit, one column per step: a dot while the qubit is parked,
+    a letter when it is driven into the interaction band (binned by
+    frequency, 'A' lowest to 'H' highest), so simultaneous gates on the same
+    letter are on the same color and the "frequency dance" of the schedule is
+    visible at a glance — the textual analogue of the colored timelines in
+    the paper's Fig 3/Fig 6 illustrations. *)
+
+val render : ?bins:int -> Schedule.t -> string
+(** [bins] (default 8) controls the letter resolution across the interaction
+    band.  Includes a legend line. *)
+
+val row : ?bins:int -> Schedule.t -> int -> string
+(** One qubit's row, without the legend.
+    @raise Invalid_argument if the qubit is out of range. *)

@@ -1,0 +1,11 @@
+let run ?crosstalk_distance ?max_colors ?conflict_threshold ?(residual_coupling = 0.0)
+    device circuit =
+  let schedule, stats =
+    Color_dynamic.run ?crosstalk_distance ?max_colors ?conflict_threshold device circuit
+  in
+  ( {
+      schedule with
+      Schedule.algorithm = "gmon-dynamic";
+      coupler = Schedule.Tunable_coupler residual_coupling;
+    },
+    stats )

@@ -1,0 +1,120 @@
+open Fastsc_physics
+
+type gate_audit = {
+  gate : Gate.application;
+  subsystem : int list;
+  intended_transfer : float;
+  spectator_pickup : float;
+  leakage : float;
+}
+
+let audit_gate ?(max_spectators = 3) ?dt device step app =
+  let a, b =
+    match app.Gate.qubits with
+    | [| a; b |] -> (a, b)
+    | _ -> invalid_arg "Leakage_audit.audit_gate: not a two-qubit gate"
+  in
+  if
+    not
+      (List.exists
+         (fun other -> other.Gate.id = app.Gate.id)
+         (List.filter (fun g -> Gate.is_two_qubit g.Gate.gate) step.Schedule.gates))
+  then invalid_arg "Leakage_audit.audit_gate: gate is not part of this step";
+  (* strongest-coupled spectators of the pair *)
+  let n = Device.n_qubits device in
+  let candidates = ref [] in
+  for y = 0 to n - 1 do
+    if y <> a && y <> b then begin
+      let g = Float.max (Device.coupling device a y) (Device.coupling device b y) in
+      if g > 0.0 then candidates := (g, y) :: !candidates
+    end
+  done;
+  let spectators =
+    !candidates
+    |> List.sort (fun (g1, _) (g2, _) -> compare g2 g1)
+    |> List.filteri (fun i _ -> i < max_spectators)
+    |> List.map snd
+  in
+  let subsystem = a :: b :: spectators in
+  let local = Array.of_list subsystem in
+  let index_of q =
+    let rec find i = if local.(i) = q then i else find (i + 1) in
+    find 0
+  in
+  let spec =
+    {
+      Multi_transmon.freqs = Array.map (fun q -> step.Schedule.freqs.(q)) local;
+      alphas = Array.map (fun q -> Transmon.anharmonicity (Device.transmon device q)) local;
+      couplings =
+        (let acc = ref [] in
+         Array.iteri
+           (fun i qi ->
+             Array.iteri
+               (fun j qj ->
+                 if i < j then begin
+                   let g = Device.coupling device qi qj in
+                   if g > 0.0 then acc := (i, j, g) :: !acc
+                 end)
+               local)
+           local;
+         !acc);
+    }
+  in
+  (* interaction window: the gate's resonance hold time *)
+  let hold =
+    Device.gate_time device app.Gate.gate -. (Device.params device).Device.flux_tuning_time
+  in
+  let zeros () = Array.make (Array.length local) 0 in
+  let ia = index_of a and ib = index_of b in
+  let start = zeros () in
+  let target = zeros () in
+  (match app.Gate.gate with
+  | Gate.Cz ->
+    (* |11> round trip through |20> *)
+    start.(ia) <- 1;
+    start.(ib) <- 1;
+    target.(ia) <- 1;
+    target.(ib) <- 1
+  | _ ->
+    (* exchange channel: |01> -> |10> (full for iSWAP, half for sqrt) *)
+    start.(ib) <- 1;
+    target.(ia) <- 1);
+  let psi = Multi_transmon.evolve ?dt spec (Multi_transmon.basis_state spec start) ~t:hold in
+  let intended_transfer =
+    match app.Gate.gate with
+    | Gate.Sqrt_iswap ->
+      (* half exchange: credit population on either side of the pair *)
+      Multi_transmon.subspace_population spec psi (fun levels ->
+          levels.(ia) + levels.(ib) = 1
+          && Array.for_all (fun d -> d < 2) levels
+          && List.for_all (fun s -> levels.(index_of s) = 0) spectators)
+    | _ -> Multi_transmon.population psi (Multi_transmon.basis_index spec target)
+  in
+  let spectator_pickup =
+    Multi_transmon.subspace_population spec psi (fun levels ->
+        List.exists (fun s -> levels.(index_of s) > 0) spectators)
+  in
+  {
+    gate = app;
+    subsystem;
+    intended_transfer;
+    spectator_pickup;
+    leakage = Multi_transmon.leakage spec psi;
+  }
+
+let audit_step ?max_spectators ?dt device step =
+  List.filter_map
+    (fun app ->
+      if Gate.is_two_qubit app.Gate.gate then
+        Some (audit_gate ?max_spectators ?dt device step app)
+      else None)
+    step.Schedule.gates
+
+let worst_of = function
+  | [] -> None
+  | audits ->
+    Some
+      (List.fold_left
+         (fun (pickup, leak) audit ->
+           (Float.max pickup audit.spectator_pickup, Float.max leak audit.leakage))
+         (0.0, 0.0) audits)

@@ -1,0 +1,57 @@
+type t = {
+  instrs : Gate.application array;
+  crit : int array;
+  queues : int Queue.t array;  (* per qubit: gate ids in program order *)
+  mutable remaining : int;
+}
+
+let create circuit =
+  let instrs = Circuit.instructions circuit in
+  let queues = Array.init (Circuit.n_qubits circuit) (fun _ -> Queue.create ()) in
+  Array.iter
+    (fun app -> Array.iter (fun q -> Queue.add app.Gate.id queues.(q)) app.Gate.qubits)
+    instrs;
+  {
+    instrs;
+    crit = Layers.criticality circuit;
+    queues;
+    remaining = Array.length instrs;
+  }
+
+let is_empty t = t.remaining = 0
+
+let n_remaining t = t.remaining
+
+let is_ready t app =
+  Array.for_all
+    (fun q -> (not (Queue.is_empty t.queues.(q))) && Queue.peek t.queues.(q) = app.Gate.id)
+    app.Gate.qubits
+
+let ready t =
+  let module ISet = Set.Make (Int) in
+  let candidates =
+    Array.fold_left
+      (fun acc queue ->
+        if Queue.is_empty queue then acc else ISet.add (Queue.peek queue) acc)
+      ISet.empty t.queues
+  in
+  let apps =
+    List.filter (fun app -> is_ready t app)
+      (List.map (fun id -> t.instrs.(id)) (ISet.elements candidates))
+  in
+  List.sort
+    (fun a b ->
+      match compare t.crit.(b.Gate.id) t.crit.(a.Gate.id) with
+      | 0 -> compare a.Gate.id b.Gate.id
+      | c -> c)
+    apps
+
+let criticality t app = t.crit.(app.Gate.id)
+
+let schedule t app =
+  if not (is_ready t app) then
+    invalid_arg
+      (Printf.sprintf "Pending.schedule: gate %d is not ready (dependency violation)"
+         app.Gate.id);
+  Array.iter (fun q -> ignore (Queue.pop t.queues.(q))) app.Gate.qubits;
+  t.remaining <- t.remaining - 1

@@ -1,0 +1,30 @@
+(** Ready-gate tracking for the queueing schedulers (Algorithm 1 lines 9-16).
+
+    All five scheduling algorithms consume the circuit through this
+    structure: a gate is {e ready} once every earlier gate sharing one of its
+    qubits has been scheduled.  Ready gates are served in order of
+    non-increasing criticality (longest dependency chain to the end of the
+    program), which is how the paper's scheduler protects the critical path
+    while serializing. *)
+
+type t
+
+val create : Circuit.t -> t
+(** Builds per-qubit queues and the criticality table for a (native-gate)
+    circuit. *)
+
+val is_empty : t -> bool
+(** All gates scheduled. *)
+
+val n_remaining : t -> int
+
+val ready : t -> Gate.application list
+(** Currently ready gates, sorted by criticality descending (ties by id
+    ascending, i.e. program order). *)
+
+val criticality : t -> Gate.application -> int
+
+val schedule : t -> Gate.application -> unit
+(** Mark a gate as executed, unblocking its successors.
+    @raise Invalid_argument if the gate is not currently ready (this guards
+    the schedulers against dependency violations). *)

@@ -1,0 +1,112 @@
+(** Compiled schedules: gates plus qubit frequencies per time step, and the
+    noise metrics computed over them (paper eq 4, Figs 9/10).
+
+    A schedule is the output of every compilation algorithm: a sequence of
+    steps, each holding the native gates that execute simultaneously, the
+    0-1 frequency of {e every} qubit during the step, the intentionally
+    resonant pairs, and the step duration.  Evaluation walks the steps and
+    accumulates three error families:
+
+    - {e gate control errors}: the per-gate base error plus a flux-noise term
+      proportional to the transmon's flux sensitivity at its operating point;
+    - {e crosstalk errors}: per two-qubit gate, the combined
+      unwanted-exchange probability over its {e spectator couplings} — every
+      coupling from one of its operands to a third qubit (plus parasitic
+      distance-2 partners when evaluated at distance 2), at the step's
+      frequencies over the step duration ({!Fastsc_noise.Crosstalk}).  This
+      is eq 4's per-gate [eps_g]; residual coupling between two parked
+      qubits is a bounded coherent oscillation at parking separations and is
+      deliberately not accumulated (the trajectory simulator, which models
+      it exactly, confirms it is negligible);
+    - {e decoherence}: per qubit over the total program duration
+      ({!Fastsc_noise.Decoherence}).
+
+    The same schedule can be lowered to trajectory-simulator steps
+    ({!to_noisy_steps}) for the §VI-C validation of the heuristic. *)
+
+type step = {
+  gates : Gate.application list;  (** Qubit-disjoint native gates. *)
+  freqs : float array;  (** omega_01 of every qubit, GHz. *)
+  interacting : (int * int) list;  (** Pairs on intentional resonance. *)
+  duration : float;  (** ns. *)
+}
+
+type coupler_model =
+  | Fixed_coupler  (** Always-on capacitive coupling (this work's target). *)
+  | Tunable_coupler of float
+      (** Gmon: couplers off except for interacting pairs; the float is the
+          residual coupling ratio eta (0 = perfect deactivation, Fig 12). *)
+
+type t = {
+  device : Device.t;
+  algorithm : string;  (** Producer label for reports. *)
+  steps : step list;
+  idle_freqs : float array;  (** Parking frequency of each qubit. *)
+  coupler : coupler_model;
+}
+
+val depth : t -> int
+
+val total_time : t -> float
+
+val n_gates : t -> int
+
+val n_two_qubit_gates : t -> int
+
+type metrics = {
+  success : float;
+  log10_success : float;
+  gate_error : float;  (** [1 - prod (1 - eps)] over control-error terms. *)
+  crosstalk_error : float;  (** Same over unwanted-interaction terms. *)
+  decoherence_error : float;  (** Same over per-qubit decoherence terms. *)
+  log10_gate_survival : float;
+      (** [log10 prod (1 - eps)] per error family — unlike the [1 - prod]
+          forms these do not saturate at 1 and remain comparable between
+          algorithms on deep circuits. *)
+  log10_crosstalk_survival : float;
+  log10_decoherence_survival : float;
+  depth : int;
+  total_time : float;
+  n_gates : int;
+  n_two_qubit : int;
+}
+
+val used_qubits : t -> int list
+(** Qubits touched by at least one gate, ascending.  Decoherence is charged
+    only to these: spare device qubits sit in |0>, which neither relaxes nor
+    carries phase information. *)
+
+val step_errors : ?worst_case:bool -> ?crosstalk_distance:int -> t -> step -> float * float
+(** [(gate control error, crosstalk error)] of one step in isolation, each as
+    [1 - prod (1 - eps)] — the building block of the per-step error budget. *)
+
+val evaluate :
+  ?worst_case:bool ->
+  ?crosstalk_distance:int ->
+  ?decoherence:Decoherence.model ->
+  t -> metrics
+(** Worst-case program success estimation (eq 4).  [worst_case] (default
+    false) replaces the time-dependent transfer probability with its peak
+    envelope; [crosstalk_distance] (default 1) set to 2 adds parasitic
+    distance-2 spectators; [decoherence] defaults to the standard
+    exponential model (see DESIGN.md). *)
+
+val check : t -> (unit, string) result
+(** Structural invariants: per-step gates are qubit-disjoint; every
+    interacting pair is a device coupling carrying a two-qubit gate at a
+    valid resonance; every frequency is within its transmon's tunable range;
+    durations are positive. *)
+
+val to_noisy_steps : ?crosstalk_distance:int -> t -> Fastsc_quantum.Noisy_sim.step list
+(** Lower the schedule for Monte-Carlo validation: intended gates as
+    unitaries, spectator-pair coherent exchanges (angle matching the
+    channel's transfer probability) and per-qubit Pauli noise per step. *)
+
+val flux_profile : t -> int -> float list
+(** The external-flux waveform of one qubit across steps (one value per
+    step) — what a control system would actually play; demonstrates the
+    schedule is physically realisable. *)
+
+val pp_step : Device.t -> Format.formatter -> step -> unit
+
+val pp_summary : Format.formatter -> t -> unit

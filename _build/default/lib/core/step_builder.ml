@@ -1,0 +1,37 @@
+open Fastsc_physics
+
+let interaction_center device =
+  let partition = Device.partition device in
+  (* center of the color band (the bottom |alpha| of the region is reserved
+     for CZ partner qubits, cf. Freq_alloc.interaction) *)
+  let lo =
+    partition.Partition.interaction_lo +. (Device.params device).Device.anharmonicity
+  in
+  (Float.min lo partition.Partition.interaction_hi +. partition.Partition.interaction_hi)
+  /. 2.0
+
+let make device ~idle_freqs ~freq_of_gate gates =
+  if gates = [] then invalid_arg "Step_builder.make: empty step";
+  let freqs = Array.copy idle_freqs in
+  let interacting = ref [] in
+  let duration = ref 0.0 in
+  List.iter
+    (fun app ->
+      duration := Float.max !duration (Device.gate_time device app.Gate.gate);
+      match app.Gate.qubits with
+      | [| a; b |] ->
+        let omega = freq_of_gate app in
+        (match app.Gate.gate with
+        | Gate.Cz ->
+          (* omega_a01 = omega_b01 + alpha_b: park b on the interaction
+             frequency and a one anharmonicity below it. *)
+          let alpha_b = Transmon.anharmonicity (Device.transmon device b) in
+          freqs.(a) <- omega +. alpha_b;
+          freqs.(b) <- omega
+        | _ ->
+          freqs.(a) <- omega;
+          freqs.(b) <- omega);
+        interacting := (a, b) :: !interacting
+      | _ -> ())
+    gates;
+  { Schedule.gates; freqs; interacting = List.rev !interacting; duration = !duration }

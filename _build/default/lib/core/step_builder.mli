@@ -1,0 +1,24 @@
+(** Assembling schedule steps from a gate set and an interaction-frequency
+    choice (shared by all five algorithms).
+
+    Given the gates of one time slice and a per-gate interaction frequency,
+    this computes the full frequency vector: idle qubits stay parked, iSWAP
+    family pairs sit together on the interaction frequency, CZ pairs are
+    offset by the anharmonicity so the first operand's 1-2 ladder meets the
+    second operand's 0-1 transition (paper §IV-A condition ii).  Step
+    duration is the longest gate in the slice (flux-retuning overhead is
+    already folded into {!Device.gate_time}). *)
+
+val interaction_center : Device.t -> float
+(** Midpoint of the interaction region — the shared frequency of the
+    single-frequency baselines (N, U, G). *)
+
+val make :
+  Device.t ->
+  idle_freqs:float array ->
+  freq_of_gate:(Gate.application -> float) ->
+  Gate.application list ->
+  Schedule.step
+(** Build one step.  [freq_of_gate] is consulted for two-qubit gates only.
+    @raise Invalid_argument on an empty gate list (a schedule has no idle
+    steps). *)

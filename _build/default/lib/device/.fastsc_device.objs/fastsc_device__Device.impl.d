@@ -1,0 +1,1 @@
+lib/device/device.ml: Array Coupled_pair Fastsc_quantum Float Format Gate Graph List Partition Paths Printf Rng Topology Transmon

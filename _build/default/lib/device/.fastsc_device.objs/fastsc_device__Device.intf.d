@@ -1,0 +1,1 @@
+lib/device/device.mli: Fastsc_quantum Format Graph Partition Topology Transmon

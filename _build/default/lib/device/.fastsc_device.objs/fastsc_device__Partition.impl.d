@@ -1,0 +1,1 @@
+lib/device/partition.ml: Format

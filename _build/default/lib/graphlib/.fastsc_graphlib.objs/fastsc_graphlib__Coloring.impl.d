@@ -1,0 +1,1 @@
+lib/graphlib/coloring.ml: Array Graph Int List Queue Set

@@ -1,0 +1,1 @@
+lib/graphlib/graph.ml: Array Format Fun Int List Printf Queue Set

@@ -1,0 +1,1 @@
+lib/graphlib/line_graph.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/graphlib/topology.ml: Array Graph List Printf

@@ -1,0 +1,1 @@
+lib/graphlib/topology.mli: Graph

@@ -1,0 +1,60 @@
+(** Vertex coloring heuristics.
+
+    The compiler maps frequency assignment to graph coloring (§IV-C): idle
+    frequencies come from coloring the connectivity graph, interaction
+    frequencies from coloring the active subgraph of the crosstalk graph.
+    Coloring is NP-complete; the paper uses the Welsh–Powell polynomial-time
+    greedy heuristic.  We also provide DSATUR and natural-order greedy for
+    the ablation benches. *)
+
+type coloring = int array
+(** [coloring.(v)] is the color of vertex [v], a small non-negative integer.
+    Isolated vertices still receive a color. *)
+
+val greedy : order:int list -> Graph.t -> coloring
+(** First-fit greedy in the supplied vertex order.  Every vertex of the graph
+    must appear exactly once in [order].
+    @raise Invalid_argument otherwise. *)
+
+val natural : Graph.t -> coloring
+(** Greedy in increasing vertex-id order. *)
+
+val welsh_powell : Graph.t -> coloring
+(** Greedy in order of non-increasing degree (Welsh & Powell 1967) — the
+    heuristic named by the paper (§V-B2). *)
+
+val dsatur : Graph.t -> coloring
+(** Brélaz's DSATUR: repeatedly color the vertex with the highest color
+    saturation, breaking ties by degree then id. *)
+
+val n_colors : coloring -> int
+(** Number of distinct colors used ([max + 1]); 0 for the empty coloring. *)
+
+val is_proper : Graph.t -> coloring -> bool
+(** No edge joins two same-colored vertices. *)
+
+val two_color : Graph.t -> coloring option
+(** BFS bipartition: [Some c] with colors in {0,1} iff the graph is
+    bipartite.  Used for idle frequencies on meshes, which are 2-colorable
+    (§IV-C1). *)
+
+val k_colorable : ?budget:int -> Graph.t -> int -> coloring option
+(** Exact backtracking search for a proper coloring with at most [k] colors
+    (DSATUR-style vertex ordering, symmetry-broken so each new color index is
+    introduced in order).  [budget] bounds the search nodes (default 10^7).
+    @raise Exit never; instead
+    @raise Failure if the budget is exhausted before the search decides. *)
+
+val chromatic_number : ?budget:int -> Graph.t -> int
+(** Exact chromatic number, by trying increasing [k] with {!k_colorable}
+    starting from the clique-free lower bound 1.  Exponential in general —
+    intended for the small graphs the paper reasons about (e.g. validating
+    that mesh crosstalk graphs need exactly 8 colors, Fig 7).
+    @raise Failure if the budget is exhausted. *)
+
+val color_classes : coloring -> int list array
+(** [color_classes c].(k) lists vertices with color [k], ascending. *)
+
+val restrict : coloring -> int list -> (int * int) list
+(** [restrict c vs] pairs each vertex of [vs] with its color — convenient for
+    reporting per-subgraph assignments. *)

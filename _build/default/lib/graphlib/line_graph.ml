@@ -1,0 +1,30 @@
+let build g =
+  let edge_list = Graph.edges g in
+  let edge_of_vertex = Array.of_list edge_list in
+  let m = Array.length edge_of_vertex in
+  let lg = Graph.create m in
+  (* Group edge indices by endpoint: edges sharing an endpoint are pairwise
+     adjacent in the line graph. *)
+  let incident = Array.make (Graph.n_vertices g) [] in
+  Array.iteri
+    (fun i (u, v) ->
+      incident.(u) <- i :: incident.(u);
+      incident.(v) <- i :: incident.(v))
+    edge_of_vertex;
+  Array.iter
+    (fun edge_ids ->
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+          List.iter (fun j -> Graph.add_edge lg i j) rest;
+          pairs rest
+      in
+      pairs edge_ids)
+    incident;
+  (lg, edge_of_vertex)
+
+let vertex_of_edge edge_of_vertex (u, v) =
+  let canonical = (min u v, max u v) in
+  let found = ref (-1) in
+  Array.iteri (fun i e -> if e = canonical then found := i) edge_of_vertex;
+  if !found < 0 then raise Not_found else !found

@@ -1,0 +1,20 @@
+(** Line graphs.
+
+    The crosstalk graph of the paper (§IV-C2) is built on top of the line
+    graph of the device connectivity graph: every coupling (edge) becomes a
+    vertex, and couplings sharing a qubit become adjacent.  Algorithm 2 then
+    densifies this with distance-[d] edges; that step lives in
+    [Fastsc_core.Crosstalk_graph], while the pure line-graph construction is
+    here. *)
+
+val build : Graph.t -> Graph.t * (int * int) array
+(** [build g] returns [(lg, edge_of_vertex)] where vertex [i] of [lg]
+    corresponds to the canonical edge [edge_of_vertex.(i)] of [g], and two
+    vertices of [lg] are adjacent iff their edges share an endpoint in [g].
+    The edge array is in the order of {!Graph.edges}, so indices are stable
+    and reproducible. *)
+
+val vertex_of_edge : (int * int) array -> int * int -> int
+(** Inverse lookup into the [edge_of_vertex] array; accepts either endpoint
+    order.
+    @raise Not_found if the pair is not an edge of the original graph. *)

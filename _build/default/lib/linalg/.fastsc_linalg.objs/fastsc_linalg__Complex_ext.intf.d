@@ -1,0 +1,1 @@
+lib/linalg/complex_ext.mli: Complex Format

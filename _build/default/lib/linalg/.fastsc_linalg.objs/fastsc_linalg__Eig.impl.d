@@ -1,0 +1,1 @@
+lib/linalg/eig.ml: Array Complex Complex_ext Float Fun List Matrix

@@ -1,0 +1,1 @@
+lib/linalg/matrix.ml: Array Complex Complex_ext Float Format Printf

@@ -1,0 +1,27 @@
+let zero = Complex.zero
+
+let one = Complex.one
+
+let i = Complex.i
+
+let re x = { Complex.re = x; im = 0.0 }
+
+let im y = { Complex.re = 0.0; im = y }
+
+let make re im = { Complex.re; im }
+
+let scale s z = { Complex.re = s *. z.Complex.re; im = s *. z.Complex.im }
+
+let exp_i theta = { Complex.re = cos theta; im = sin theta }
+
+let norm2 z = (z.Complex.re *. z.Complex.re) +. (z.Complex.im *. z.Complex.im)
+
+let approx_equal ?(tol = 1e-9) a b =
+  Float.abs (a.Complex.re -. b.Complex.re) <= tol
+  && Float.abs (a.Complex.im -. b.Complex.im) <= tol
+
+let to_string z =
+  if z.Complex.im >= 0.0 then Printf.sprintf "%g+%gi" z.Complex.re z.Complex.im
+  else Printf.sprintf "%g-%gi" z.Complex.re (Float.abs z.Complex.im)
+
+let pp fmt z = Format.pp_print_string fmt (to_string z)

@@ -1,0 +1,33 @@
+(** Conveniences over the standard-library [Complex] type.
+
+    The quantum substrates (gate unitaries, state vectors, transmon
+    Hamiltonians) use [Complex.t] as scalar; this module collects the small
+    helpers the stdlib omits. *)
+
+val zero : Complex.t
+val one : Complex.t
+val i : Complex.t
+
+val re : float -> Complex.t
+(** Real number as a complex. *)
+
+val im : float -> Complex.t
+(** Purely imaginary number. *)
+
+val make : float -> float -> Complex.t
+
+val scale : float -> Complex.t -> Complex.t
+
+val exp_i : float -> Complex.t
+(** [exp_i theta = e^{i theta}]. *)
+
+val norm2 : Complex.t -> float
+(** Squared modulus. *)
+
+val approx_equal : ?tol:float -> Complex.t -> Complex.t -> bool
+(** Componentwise comparison with absolute tolerance (default [1e-9]). *)
+
+val to_string : Complex.t -> string
+(** Readable rendering such as ["0.707-0.707i"]. *)
+
+val pp : Format.formatter -> Complex.t -> unit

@@ -1,0 +1,31 @@
+(** Eigendecomposition of Hermitian matrices.
+
+    Used by the physics layer: the avoided-crossing curve of Fig 2 comes from
+    diagonalising the coupled two-transmon Hamiltonian, and unitary time
+    evolution (Fig 15) is computed exactly as
+    [U(t) = V exp(-i diag(lambda) t) V†].
+
+    The implementation is the cyclic Jacobi method on the real-symmetric
+    embedding of the Hermitian matrix [H = A + iB] into
+    [[A, -B; B, A]] — each eigenpair of [H] appears twice in the embedding,
+    and the complex eigenvector is recovered as [x + iy] from the stacked
+    real vector [(x; y)].  Exact enough for the <= 10x10 operators this
+    system manipulates. *)
+
+val jacobi_symmetric :
+  ?max_sweeps:int -> ?tol:float -> float array array ->
+  float array * float array array
+(** [jacobi_symmetric a] diagonalises the real symmetric matrix [a]
+    (not modified).  Returns [(eigenvalues, eigenvectors)] with eigenvalues
+    ascending and [eigenvectors.(k)] the unit eigenvector for
+    [eigenvalues.(k)].
+    @raise Invalid_argument if [a] is not square. *)
+
+val eigh : Matrix.t -> float array * Matrix.t
+(** [eigh h] for Hermitian [h] returns eigenvalues ascending and a matrix
+    whose [k]-th {e column} is the corresponding eigenvector.
+    @raise Invalid_argument if [h] is not (numerically) Hermitian. *)
+
+val expm_hermitian : Matrix.t -> float -> Matrix.t
+(** [expm_hermitian h t] is the unitary [exp(-i h t)], computed through
+    {!eigh}. *)

@@ -1,0 +1,134 @@
+type t = { rows : int; cols : int; data : Complex.t array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dimension";
+  { rows; cols; data = Array.make (rows * cols) Complex.zero }
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let index m r c =
+  if r < 0 || r >= m.rows || c < 0 || c >= m.cols then
+    invalid_arg (Printf.sprintf "Matrix: index (%d,%d) out of %dx%d" r c m.rows m.cols);
+  (r * m.cols) + c
+
+let get m r c = m.data.(index m r c)
+
+let set m r c v = m.data.(index m r c) <- v
+
+let init rows cols f =
+  let m = create rows cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      m.data.((r * cols) + c) <- f r c
+    done
+  done;
+  m
+
+let identity n = init n n (fun r c -> if r = c then Complex.one else Complex.zero)
+
+let of_arrays arr =
+  let rows = Array.length arr in
+  if rows = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let cols = Array.length arr.(0) in
+  if cols = 0 then invalid_arg "Matrix.of_arrays: empty row";
+  Array.iter
+    (fun row -> if Array.length row <> cols then invalid_arg "Matrix.of_arrays: ragged rows")
+    arr;
+  init rows cols (fun r c -> arr.(r).(c))
+
+let of_real_arrays arr =
+  of_arrays (Array.map (Array.map (fun x -> { Complex.re = x; im = 0.0 })) arr)
+
+let copy m = { m with data = Array.copy m.data }
+
+let map2 op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> op a.data.(i) b.data.(i)) }
+
+let add = map2 Complex.add
+
+let sub = map2 Complex.sub
+
+let scale s m = { m with data = Array.map (Complex.mul s) m.data }
+
+let scale_re s m = scale { Complex.re = s; im = 0.0 } m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let result = create a.rows b.cols in
+  for r = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((r * a.cols) + k) in
+      if aik <> Complex.zero then
+        for c = 0 to b.cols - 1 do
+          let idx = (r * b.cols) + c in
+          result.data.(idx) <-
+            Complex.add result.data.(idx) (Complex.mul aik b.data.((k * b.cols) + c))
+        done
+    done
+  done;
+  result
+
+let transpose m = init m.cols m.rows (fun r c -> get m c r)
+
+let conj m = { m with data = Array.map Complex.conj m.data }
+
+let adjoint m = transpose (conj m)
+
+let kron a b =
+  init (a.rows * b.rows) (a.cols * b.cols) (fun r c ->
+      let ar = r / b.rows and br = r mod b.rows in
+      let ac = c / b.cols and bc = c mod b.cols in
+      Complex.mul (get a ar ac) (get b br bc))
+
+let mat_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.mat_vec: dimension mismatch";
+  Array.init m.rows (fun r ->
+      let acc = ref Complex.zero in
+      for c = 0 to m.cols - 1 do
+        acc := Complex.add !acc (Complex.mul m.data.((r * m.cols) + c) v.(c))
+      done;
+      !acc)
+
+let trace m =
+  let n = min m.rows m.cols in
+  let acc = ref Complex.zero in
+  for k = 0 to n - 1 do
+    acc := Complex.add !acc (get m k k)
+  done;
+  !acc
+
+let frobenius_norm m =
+  sqrt (Array.fold_left (fun acc z -> acc +. Complex_ext.norm2 z) 0.0 m.data)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix: dimension mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i za -> worst := Float.max !worst (Complex.norm (Complex.sub za b.data.(i))))
+    a.data;
+  !worst
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs_diff a b <= tol
+
+let is_hermitian ?(tol = 1e-9) m =
+  m.rows = m.cols && max_abs_diff m (adjoint m) <= tol
+
+let is_unitary ?(tol = 1e-9) m =
+  m.rows = m.cols && max_abs_diff (mul m (adjoint m)) (identity m.rows) <= tol
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for r = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for c = 0 to m.cols - 1 do
+      if c > 0 then Format.fprintf fmt ", ";
+      Complex_ext.pp fmt (get m r c)
+    done;
+    Format.fprintf fmt "]";
+    if r < m.rows - 1 then Format.pp_print_cut fmt ()
+  done;
+  Format.fprintf fmt "@]"

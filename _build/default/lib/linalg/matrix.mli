@@ -1,0 +1,67 @@
+(** Dense complex matrices.
+
+    Replaces the numpy arrays of the reference implementation.  Sized for the
+    small operators this system needs — gate unitaries (2x2, 4x4), coupled
+    two-transmon Hamiltonians (9x9 for three levels per transmon) — so the
+    implementation favours clarity over blocking/vectorisation. *)
+
+type t
+(** Row-major dense matrix of [Complex.t]. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix.
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val identity : int -> t
+
+val of_arrays : Complex.t array array -> t
+(** Rows must be non-empty and of equal length. *)
+
+val of_real_arrays : float array array -> t
+
+val init : int -> int -> (int -> int -> Complex.t) -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+
+val copy : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Complex.t -> t -> t
+val scale_re : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val transpose : t -> t
+val conj : t -> t
+val adjoint : t -> t
+(** Conjugate transpose. *)
+
+val kron : t -> t -> t
+(** Kronecker (tensor) product; builds multi-qubit/qutrit operators. *)
+
+val mat_vec : t -> Complex.t array -> Complex.t array
+(** Matrix–vector product. *)
+
+val trace : t -> Complex.t
+
+val frobenius_norm : t -> float
+
+val max_abs_diff : t -> t -> float
+(** Largest entrywise modulus of the difference. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Entrywise comparison with absolute tolerance (default [1e-9]). *)
+
+val is_hermitian : ?tol:float -> t -> bool
+
+val is_unitary : ?tol:float -> t -> bool
+(** [A x A† = I] within tolerance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/noise/crosstalk.ml: Float List

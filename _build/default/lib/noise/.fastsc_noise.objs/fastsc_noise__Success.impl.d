@@ -1,0 +1,1 @@
+lib/noise/success.ml: Float List

@@ -1,0 +1,39 @@
+let residual_coupling ~g0 ~delta =
+  let d = Float.abs delta in
+  if d < g0 then g0 else g0 *. g0 /. d
+
+let transfer_envelope ~g ~delta =
+  let four_g2 = 4.0 *. g *. g in
+  four_g2 /. (four_g2 +. (delta *. delta))
+
+let transfer_probability ~g ~delta ~t =
+  let rabi = sqrt ((delta *. delta) +. (4.0 *. g *. g)) in
+  transfer_envelope ~g ~delta *. (sin (Float.pi *. rabi *. t) ** 2.0)
+
+type channel = { label : string; delta : float; g : float }
+
+let channels ~alpha_a ~alpha_b ~g ~omega_a ~omega_b =
+  [
+    (* |01> <-> |10> exchange *)
+    { label = "01-01"; delta = Float.abs (omega_a -. omega_b); g };
+    (* |11> <-> |20>: omega_a's 1->2 ladder meets omega_b's 0->1 *)
+    { label = "12-01"; delta = Float.abs (omega_a +. alpha_a -. omega_b); g = sqrt 2.0 *. g };
+    (* |11> <-> |02> *)
+    { label = "01-12"; delta = Float.abs (omega_a -. (omega_b +. alpha_b)); g = sqrt 2.0 *. g };
+  ]
+
+let pair_error ?(worst_case = false) ~alpha_a ~alpha_b ~g ~omega_a ~omega_b ~t () =
+  if g <= 0.0 then 0.0
+  else
+    let survive =
+      List.fold_left
+        (fun acc { delta; g; _ } ->
+          let p =
+            if worst_case then transfer_envelope ~g ~delta
+            else transfer_probability ~g ~delta ~t
+          in
+          acc *. (1.0 -. p))
+        1.0
+        (channels ~alpha_a ~alpha_b ~g ~omega_a ~omega_b)
+    in
+    1.0 -. survive

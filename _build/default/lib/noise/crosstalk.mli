@@ -1,0 +1,48 @@
+(** Crosstalk error model (paper §II-B2, Appendix B).
+
+    Two detuned, coupled transmons exchange population at the residual rate
+    of eq 5; holding them for time [t] transfers probability according to the
+    detuned-Rabi law.  The paper's eq 6 is the dispersive limit of this; we
+    implement the exact two-level expression, which is finite on resonance
+    and reduces to [sin^2(2 pi (g^2/delta) t)] for large detuning:
+
+    {v P(t) = 4g^2 / (4g^2 + d^2) * sin^2(pi sqrt(d^2 + 4 g^2) t) v}
+
+    (frequencies in GHz, time in ns).  A CZ-channel variant scales the
+    coupling by sqrt 2 (the |11>-|20> matrix element).
+
+    For a pair of idle/parked qubits all three relevant resonance channels
+    are combined: the 01-01 exchange and the two 01-12 sideband (leakage)
+    channels displaced by the anharmonicity. *)
+
+val residual_coupling : g0:float -> delta:float -> float
+(** Eq 5 exactly as printed, [g0^2 / delta], capped at [g0] so it stays
+    physical on resonance.  Exposed for the Fig 2 comparison. *)
+
+val transfer_probability : g:float -> delta:float -> t:float -> float
+(** Exact detuned-Rabi transfer probability after holding for [t] ns. *)
+
+val transfer_envelope : g:float -> delta:float -> float
+(** Worst-case (peak) transfer probability [4g^2 / (4g^2 + d^2)] — the
+    [sin^2 = 1] envelope, used by the worst-case success metric. *)
+
+type channel = {
+  label : string;  (** e.g. ["01-01"], ["01-12"]. *)
+  delta : float;  (** Detuning of the channel, GHz. *)
+  g : float;  (** Coupling of the channel, GHz. *)
+}
+
+val channels :
+  alpha_a:float -> alpha_b:float -> g:float -> omega_a:float -> omega_b:float ->
+  channel list
+(** The resonance channels between two transmons parked at the given 0-1
+    frequencies: direct exchange plus the two anharmonicity sidebands with
+    sqrt-2-enhanced coupling. *)
+
+val pair_error :
+  ?worst_case:bool ->
+  alpha_a:float -> alpha_b:float -> g:float -> omega_a:float -> omega_b:float ->
+  t:float -> unit -> float
+(** Combined unwanted-interaction error for a spectator pair over one time
+    slice: [1 - prod_channels (1 - P_channel)].  With [worst_case] the
+    envelope is used instead of the time-dependent probability. *)

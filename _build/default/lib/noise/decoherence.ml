@@ -1,0 +1,18 @@
+type model = Combined | Exponential
+
+let validate ~t1 ~t2 ~t =
+  if t1 <= 0.0 || t2 <= 0.0 then invalid_arg "Decoherence: T1 and T2 must be positive";
+  if t < 0.0 then invalid_arg "Decoherence: negative duration"
+
+let error ?(model = Combined) ~t1 ~t2 ~t () =
+  validate ~t1 ~t2 ~t;
+  match model with
+  | Combined -> (1.0 -. exp (-.t /. t1)) *. (1.0 -. exp (-.t /. t2))
+  | Exponential -> 1.0 -. (exp (-.t /. t1) *. exp (-.t /. t2))
+
+let pauli_rates ~t1 ~t2 ~t =
+  validate ~t1 ~t2 ~t;
+  let p_relax = 1.0 -. exp (-.t /. t1) in
+  let phi_rate = Float.max 0.0 ((1.0 /. t2) -. (1.0 /. (2.0 *. t1))) in
+  let p_phi = 1.0 -. exp (-.t *. phi_rate) in
+  (p_relax /. 4.0, p_relax /. 4.0, p_phi /. 2.0)

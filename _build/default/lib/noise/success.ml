@@ -1,0 +1,29 @@
+type t = { mutable log10_sum : float; mutable saturated : bool; mutable n : int }
+
+let create () = { log10_sum = 0.0; saturated = false; n = 0 }
+
+let add_error t eps =
+  let eps = Float.max 0.0 eps in
+  t.n <- t.n + 1;
+  if eps >= 1.0 then t.saturated <- true
+  else t.log10_sum <- t.log10_sum +. (log10 (1.0 -. eps))
+
+let add_errors t = List.iter (add_error t)
+
+let probability t = if t.saturated then 0.0 else 10.0 ** t.log10_sum
+
+let log10_probability t = if t.saturated then neg_infinity else t.log10_sum
+
+let n_terms t = t.n
+
+let combine a b =
+  {
+    log10_sum = a.log10_sum +. b.log10_sum;
+    saturated = a.saturated || b.saturated;
+    n = a.n + b.n;
+  }
+
+let of_errors errors =
+  let t = create () in
+  add_errors t errors;
+  probability t

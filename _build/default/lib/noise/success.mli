@@ -1,0 +1,34 @@
+(** Program success-rate heuristic (paper eq 4, §VI-C).
+
+    {v P_success = prod_g (1 - eps_g) * prod_q (1 - eps_q) v}
+
+    where [eps_g] runs over gate/crosstalk error terms and [eps_q] over
+    per-qubit decoherence.  Probabilities this small are best handled in log
+    space; the accumulator keeps a log10 tally so the Fig 9 log-scale series
+    never underflow. *)
+
+type t
+(** A success-probability accumulator. *)
+
+val create : unit -> t
+
+val add_error : t -> float -> unit
+(** Fold one error term [eps] (clamped into [\[0, 1\]]) into the product.  An
+    [eps >= 1] drives success to exactly zero. *)
+
+val add_errors : t -> float list -> unit
+
+val probability : t -> float
+(** The accumulated product; 0 if any term saturated. *)
+
+val log10_probability : t -> float
+(** Log-scale value (negative infinity when zero). *)
+
+val n_terms : t -> int
+
+val combine : t -> t -> t
+(** Product of two independent accumulators (e.g. gate terms and qubit
+    terms). *)
+
+val of_errors : float list -> float
+(** One-shot convenience: [prod (1 - eps)]. *)

@@ -1,0 +1,1 @@
+lib/physics/coupled_pair.ml: Complex_ext Float Matrix

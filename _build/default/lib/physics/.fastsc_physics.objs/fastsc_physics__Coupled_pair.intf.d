@@ -1,0 +1,1 @@
+lib/physics/coupled_pair.mli: Matrix

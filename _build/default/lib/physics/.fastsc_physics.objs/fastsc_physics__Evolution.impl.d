@@ -1,0 +1,1 @@
+lib/physics/evolution.ml: Array Complex Complex_ext Eig List Matrix

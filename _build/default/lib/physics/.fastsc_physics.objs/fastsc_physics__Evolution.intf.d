@@ -1,0 +1,1 @@
+lib/physics/evolution.mli: Complex Matrix

@@ -1,0 +1,1 @@
+lib/physics/multi_transmon.ml: Array Complex Complex_ext Float List

@@ -1,0 +1,1 @@
+lib/physics/multi_transmon.mli: Complex

@@ -1,0 +1,1 @@
+lib/physics/transmon.ml: Float Printf

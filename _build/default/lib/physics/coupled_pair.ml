@@ -1,0 +1,50 @@
+type params = {
+  omega_a : float;
+  omega_b : float;
+  alpha_a : float;
+  alpha_b : float;
+  g : float;
+}
+
+let two_pi = 2.0 *. Float.pi
+
+let state_index ~levels la lb = (la * levels) + lb
+
+let hamiltonian ?(levels = 3) p =
+  if levels < 2 then invalid_arg "Coupled_pair.hamiltonian: levels must be >= 2";
+  let dim = levels * levels in
+  let h = Matrix.create dim dim in
+  (* Diagonal Duffing terms: omega * n + alpha/2 * n (n - 1), per transmon. *)
+  let duffing omega alpha n =
+    let nf = float_of_int n in
+    (omega *. nf) +. (alpha /. 2.0 *. nf *. (nf -. 1.0))
+  in
+  for la = 0 to levels - 1 do
+    for lb = 0 to levels - 1 do
+      let idx = state_index ~levels la lb in
+      let energy = duffing p.omega_a p.alpha_a la +. duffing p.omega_b p.alpha_b lb in
+      Matrix.set h idx idx (Complex_ext.re (two_pi *. energy))
+    done
+  done;
+  (* Exchange coupling g (a† b + a b†): connects |la, lb> and |la+1, lb-1>
+     with amplitude g sqrt(la+1) sqrt(lb). *)
+  for la = 0 to levels - 2 do
+    for lb = 1 to levels - 1 do
+      let from_idx = state_index ~levels la lb in
+      let to_idx = state_index ~levels (la + 1) (lb - 1) in
+      let amp = p.g *. sqrt (float_of_int (la + 1)) *. sqrt (float_of_int lb) in
+      Matrix.set h from_idx to_idx (Complex_ext.re (two_pi *. amp));
+      Matrix.set h to_idx from_idx (Complex_ext.re (two_pi *. amp))
+    done
+  done;
+  h
+
+let exchange_strength ~omega_a ~omega_b ~g =
+  let d = Float.abs (omega_a -. omega_b) in
+  (sqrt ((d *. d) +. (4.0 *. g *. g)) -. d) /. 2.0
+
+let iswap_time ~g = 1.0 /. (4.0 *. g)
+
+let sqrt_iswap_time ~g = 1.0 /. (8.0 *. g)
+
+let cz_time ~g = 1.0 /. (2.0 *. sqrt 2.0 *. g)

@@ -1,0 +1,52 @@
+(** Two capacitively coupled transmons (paper §II-B, Appendix B).
+
+    Each transmon is modelled as a Duffing oscillator truncated to [levels]
+    states; the capacitive coupling exchanges excitations
+    ([g (a† b + a b†)], rotating-wave approximation).  The basis of the
+    composite Hilbert space indexes states as [|l_a l_b> = l_a * levels +
+    l_b].
+
+    This is the substrate behind three results of the paper:
+    - Fig 2: interaction strength vs detuning (avoided crossing of the
+      single-excitation manifold);
+    - Fig 15: population transfer |01>-|10> (iSWAP channel) and |11>-|20>
+      (CZ channel) as a function of flux and hold time;
+    - the gate-time relations t_iSWAP = pi/2g and t_CZ = pi/sqrt(2)g of
+      Appendix B, which the device model uses to cost every two-qubit gate.
+
+    Frequencies in GHz, times in ns; the Hamiltonian carries the 2pi
+    conversion internally so evolution phases are [2 pi f t]. *)
+
+type params = {
+  omega_a : float;  (** 0-1 frequency of transmon A (GHz). *)
+  omega_b : float;  (** 0-1 frequency of transmon B (GHz). *)
+  alpha_a : float;  (** Anharmonicity of A (GHz, negative). *)
+  alpha_b : float;  (** Anharmonicity of B (GHz, negative). *)
+  g : float;  (** Exchange coupling strength (GHz). *)
+}
+
+val hamiltonian : ?levels:int -> params -> Matrix.t
+(** Composite Hamiltonian in angular units (rad/ns); [levels] defaults to 3,
+    the minimum needed to see the |11>-|20> CZ resonance.
+    @raise Invalid_argument if [levels < 2]. *)
+
+val state_index : levels:int -> int -> int -> int
+(** [state_index ~levels la lb] is the basis index of |la lb>. *)
+
+val exchange_strength : omega_a:float -> omega_b:float -> g:float -> float
+(** Effective interaction strength between |01> and |10> as a function of
+    detuning: half the excess splitting of the dressed single-excitation
+    doublet, [(sqrt(d^2 + 4g^2) - |d|) / 2] with [d = omega_a - omega_b].
+    Equals [g] on resonance and decays as [g^2/|d|] far away — the curve of
+    Fig 2 and the physical origin of the residual-coupling law (eq 5). *)
+
+val iswap_time : g:float -> float
+(** Full population exchange |01> -> |10>: [t = 1 / (4 g)] ns (i.e. a pi/2
+    rotation at angular rate 2 pi g). *)
+
+val sqrt_iswap_time : g:float -> float
+(** Half exchange, [t_iSWAP / 2]. *)
+
+val cz_time : g:float -> float
+(** |11> -> |20> -> |11> round trip at the sqrt(2)-enhanced coupling:
+    [t = 1 / (2 sqrt 2 g)] ns. *)

@@ -1,0 +1,29 @@
+(** Exact unitary time evolution of small closed systems.
+
+    Schroedinger evolution [psi(t) = exp(-i H t) psi(0)] computed through the
+    eigendecomposition of the (time-independent) Hamiltonian — exact for the
+    piecewise-constant control schedules this system deals with, with no
+    integrator error to tune.  Drives the Fig 15 transition-probability maps
+    and the microscopic validation of the crosstalk error law (eq 6). *)
+
+val evolve : Matrix.t -> Complex.t array -> float -> Complex.t array
+(** [evolve h psi0 t] is the state after evolving [psi0] under Hamiltonian
+    [h] (angular units, rad/ns) for [t] ns.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val basis_state : int -> int -> Complex.t array
+(** [basis_state dim k] is the computational basis vector |k>. *)
+
+val transition_probability : Matrix.t -> src:int -> dst:int -> t:float -> float
+(** [transition_probability h ~src ~dst ~t] is [|<dst| exp(-iHt) |src>|^2]. *)
+
+val transition_series :
+  Matrix.t -> src:int -> dst:int -> times:float list -> (float * float) list
+(** The transition probability sampled at several hold times; a column of the
+    Fig 15 heat maps.  The eigendecomposition is computed once. *)
+
+val population : Complex.t array -> int -> float
+(** [|<k|psi>|^2]. *)
+
+val norm : Complex.t array -> float
+(** Euclidean norm; preserved (=1) by {!evolve} up to numerical error. *)

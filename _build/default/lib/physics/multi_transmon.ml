@@ -1,0 +1,154 @@
+type spec = {
+  freqs : float array;
+  alphas : float array;
+  couplings : (int * int * float) list;
+}
+
+let two_pi = 2.0 *. Float.pi
+
+let n_transmons spec = Array.length spec.freqs
+
+let validate spec =
+  let n = n_transmons spec in
+  if Array.length spec.alphas <> n then
+    invalid_arg "Multi_transmon: freqs and alphas lengths disagree";
+  List.iter
+    (fun (a, b, _) ->
+      if a < 0 || a >= n || b < 0 || b >= n || a = b then
+        invalid_arg "Multi_transmon: bad coupling pair")
+    spec.couplings
+
+let dimension spec =
+  validate spec;
+  let rec pow acc k = if k = 0 then acc else pow (acc * 3) (k - 1) in
+  pow 1 (n_transmons spec)
+
+let pow3 q =
+  let rec go acc k = if k = 0 then acc else go (acc * 3) (k - 1) in
+  go 1 q
+
+let digit index q = index / pow3 q mod 3
+
+let basis_index spec levels =
+  let n = n_transmons spec in
+  if Array.length levels <> n then invalid_arg "Multi_transmon.basis_index: length mismatch";
+  let idx = ref 0 in
+  for q = n - 1 downto 0 do
+    let d = levels.(q) in
+    if d < 0 || d > 2 then invalid_arg "Multi_transmon.basis_index: level out of 0..2";
+    idx := (!idx * 3) + d
+  done;
+  !idx
+
+let levels_of_index spec index =
+  Array.init (n_transmons spec) (fun q -> digit index q)
+
+let basis_state spec levels =
+  let dim = dimension spec in
+  let psi = Array.make dim Complex.zero in
+  psi.(basis_index spec levels) <- Complex.one;
+  psi
+
+(* The total excitation number commutes with the Hamiltonian, so shifting all
+   frequencies by their mean only changes sector-global phases — populations
+   are untouched and the integrator sees detunings (MHz..GHz scale) instead
+   of absolute frequencies, which keeps RK4 accurate at practical step
+   sizes. *)
+let reference spec =
+  if Array.length spec.freqs = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 spec.freqs /. float_of_int (Array.length spec.freqs)
+
+let apply_hamiltonian spec psi =
+  validate spec;
+  let n = n_transmons spec in
+  let dim = dimension spec in
+  if Array.length psi <> dim then invalid_arg "Multi_transmon.apply_hamiltonian: bad state size";
+  let omega_ref = reference spec in
+  let out = Array.make dim Complex.zero in
+  (* diagonal part *)
+  for i = 0 to dim - 1 do
+    if psi.(i) <> Complex.zero then begin
+      let energy = ref 0.0 in
+      for q = 0 to n - 1 do
+        let d = float_of_int (digit i q) in
+        energy :=
+          !energy
+          +. ((spec.freqs.(q) -. omega_ref) *. d)
+          +. (spec.alphas.(q) /. 2.0 *. d *. (d -. 1.0))
+      done;
+      out.(i) <- Complex.add out.(i) (Complex_ext.scale (two_pi *. !energy) psi.(i))
+    end
+  done;
+  (* exchange couplings: g (a† b + a b†) per pair *)
+  List.iter
+    (fun (a, b, g) ->
+      if g <> 0.0 then begin
+        let pa = pow3 a and pb = pow3 b in
+        for i = 0 to dim - 1 do
+          if psi.(i) <> Complex.zero then begin
+            let da = digit i a and db = digit i b in
+            if da < 2 && db > 0 then begin
+              let j = i + pa - pb in
+              let amp =
+                two_pi *. g *. sqrt (float_of_int (da + 1)) *. sqrt (float_of_int db)
+              in
+              out.(j) <- Complex.add out.(j) (Complex_ext.scale amp psi.(i))
+            end;
+            if db < 2 && da > 0 then begin
+              let j = i - pa + pb in
+              let amp =
+                two_pi *. g *. sqrt (float_of_int (db + 1)) *. sqrt (float_of_int da)
+              in
+              out.(j) <- Complex.add out.(j) (Complex_ext.scale amp psi.(i))
+            end
+          end
+        done
+      end)
+    spec.couplings;
+  out
+
+let evolve ?(dt = 0.01) spec psi0 ~t =
+  if t < 0.0 then invalid_arg "Multi_transmon.evolve: negative time";
+  if dt <= 0.0 then invalid_arg "Multi_transmon.evolve: non-positive dt";
+  let dim = Array.length psi0 in
+  let minus_i_h psi =
+    Array.map (fun z -> Complex.mul { Complex.re = 0.0; im = -1.0 } z) (apply_hamiltonian spec psi)
+  in
+  let axpy alpha x y = Array.init dim (fun k -> Complex.add y.(k) (Complex_ext.scale alpha x.(k))) in
+  let psi = ref (Array.copy psi0) in
+  let remaining = ref t in
+  while !remaining > 1e-12 do
+    let h = Float.min dt !remaining in
+    let k1 = minus_i_h !psi in
+    let k2 = minus_i_h (axpy (h /. 2.0) k1 !psi) in
+    let k3 = minus_i_h (axpy (h /. 2.0) k2 !psi) in
+    let k4 = minus_i_h (axpy h k3 !psi) in
+    psi :=
+      Array.init dim (fun k ->
+          let weighted =
+            Complex.add
+              (Complex.add k1.(k) (Complex_ext.scale 2.0 k2.(k)))
+              (Complex.add (Complex_ext.scale 2.0 k3.(k)) k4.(k))
+          in
+          Complex.add !psi.(k) (Complex_ext.scale (h /. 6.0) weighted));
+    remaining := !remaining -. h
+  done;
+  (* RK4 drifts the norm at O(dt^4); project back to the unit sphere *)
+  let norm = sqrt (Array.fold_left (fun acc z -> acc +. Complex_ext.norm2 z) 0.0 !psi) in
+  if norm > 0.0 then Array.map (Complex_ext.scale (1.0 /. norm)) !psi else !psi
+
+let population psi k = Complex_ext.norm2 psi.(k)
+
+let subspace_population spec psi predicate =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i z -> if predicate (levels_of_index spec i) then acc := !acc +. Complex_ext.norm2 z)
+    psi;
+  !acc
+
+let leakage spec psi =
+  subspace_population spec psi (fun levels -> Array.exists (fun d -> d >= 2) levels)
+
+let transfer_probability ?dt spec ~from_levels ~to_levels ~t =
+  let psi = evolve ?dt spec (basis_state spec from_levels) ~t in
+  population psi (basis_index spec to_levels)

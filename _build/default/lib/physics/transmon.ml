@@ -1,0 +1,52 @@
+type t = {
+  omega_max : float;
+  omega_min : float;
+  e_c : float;
+  asymmetry : float;
+  e_j_sum : float;
+}
+
+(* omega = sqrt(8 E_J E_C) - E_C   =>   E_J = (omega + E_C)^2 / (8 E_C) *)
+let e_j_of_freq ~e_c omega = ((omega +. e_c) ** 2.0) /. (8.0 *. e_c)
+
+let freq_of_e_j ~e_c e_j = sqrt (8.0 *. e_j *. e_c) -. e_c
+
+let create ?(e_c = 0.2) ~omega_max ~omega_min () =
+  if e_c <= 0.0 then invalid_arg "Transmon.create: e_c must be positive";
+  if not (0.0 < omega_min && omega_min < omega_max) then
+    invalid_arg "Transmon.create: need 0 < omega_min < omega_max";
+  let e_j_sum = e_j_of_freq ~e_c omega_max in
+  let e_j_min = e_j_of_freq ~e_c omega_min in
+  (* At phi = 1/2 the effective Josephson energy is d * E_J_sum. *)
+  let asymmetry = e_j_min /. e_j_sum in
+  { omega_max; omega_min; e_c; asymmetry; e_j_sum }
+
+let anharmonicity t = -.t.e_c
+
+let effective_e_j t ~flux =
+  let phase = Float.pi *. flux in
+  let c = cos phase and s = sin phase in
+  t.e_j_sum *. sqrt ((c *. c) +. (t.asymmetry *. t.asymmetry *. s *. s))
+
+let freq_01 t ~flux = freq_of_e_j ~e_c:t.e_c (effective_e_j t ~flux)
+
+let freq_12 t ~flux = freq_01 t ~flux -. t.e_c
+
+let freq_02 t ~flux = (2.0 *. freq_01 t ~flux) -. t.e_c
+
+let flux_for_freq t omega =
+  if omega < t.omega_min -. 1e-9 || omega > t.omega_max +. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Transmon.flux_for_freq: %g outside [%g, %g]" omega t.omega_min
+         t.omega_max);
+  (* freq_01 decreases monotonically on [0, 1/2]. *)
+  let lo = ref 0.0 and hi = ref 0.5 in
+  for _ = 1 to 60 do
+    let mid = (!lo +. !hi) /. 2.0 in
+    if freq_01 t ~flux:mid >= omega then lo := mid else hi := mid
+  done;
+  (!lo +. !hi) /. 2.0
+
+let flux_sensitivity t ~flux =
+  let h = 1e-6 in
+  Float.abs ((freq_01 t ~flux:(flux +. h) -. freq_01 t ~flux:(flux -. h)) /. (2.0 *. h))

@@ -1,0 +1,55 @@
+(** Flux-tunable asymmetric transmon model (paper §II-A, Fig 4).
+
+    A transmon with two asymmetric Josephson junctions has a flux-dependent
+    effective Josephson energy
+
+    {v E_J(phi) = E_J_sum * |cos(pi phi)| * sqrt(1 + d^2 tan^2(pi phi)) v}
+
+    where [phi] is the external flux in units of the flux quantum and [d] the
+    junction asymmetry.  In the transmon limit the qubit frequency is
+    [omega_01 = sqrt(8 E_J E_C) - E_C] and the anharmonicity is [-E_C], so the
+    frequency sweeps between two {e sweet spots} — [omega_max] at [phi = 0]
+    and [omega_min] at [phi = 1/2] — where it is first-order insensitive to
+    flux noise.
+
+    Unit conventions (used across the whole repository): frequencies and
+    energies in GHz (linear frequency, divide by 2pi already applied), flux in
+    units of the flux quantum, time in ns. *)
+
+type t = {
+  omega_max : float;  (** 0-1 frequency at the upper sweet spot (GHz). *)
+  omega_min : float;  (** 0-1 frequency at the lower sweet spot (GHz). *)
+  e_c : float;  (** Charging energy = |anharmonicity| (GHz). *)
+  asymmetry : float;  (** Junction asymmetry [d], derived. *)
+  e_j_sum : float;  (** Total Josephson energy (GHz), derived. *)
+}
+
+val create : ?e_c:float -> omega_max:float -> omega_min:float -> unit -> t
+(** [create ~omega_max ~omega_min ()] builds a transmon whose sweet spots sit
+    at the given frequencies; [e_c] defaults to 0.2 GHz in line with the
+    paper's ~200 MHz anharmonicity.
+    @raise Invalid_argument unless [0 < omega_min < omega_max] and
+    [e_c > 0]. *)
+
+val anharmonicity : t -> float
+(** Negative; [omega_12 - omega_01 = -e_c]. *)
+
+val freq_01 : t -> flux:float -> float
+(** 0-1 transition frequency at the given external flux (periodic in flux
+    with period 1). *)
+
+val freq_12 : t -> flux:float -> float
+(** 1-2 transition frequency, [freq_01 + anharmonicity]. *)
+
+val freq_02 : t -> flux:float -> float
+(** 0-2 two-photon transition frequency, [2 * freq_01 + anharmonicity]. *)
+
+val flux_for_freq : t -> float -> float
+(** [flux_for_freq t omega] inverts {!freq_01} on the branch [\[0, 1/2\]] by
+    bisection.
+    @raise Invalid_argument if [omega] is outside
+    [\[omega_min, omega_max\]]. *)
+
+val flux_sensitivity : t -> flux:float -> float
+(** Numerical [|d omega_01 / d flux|]; vanishes at the sweet spots and is the
+    reason the compiler parks frequencies near them (§V-B4). *)

@@ -1,0 +1,1 @@
+lib/quantum/circuit.ml: Array Format Gate Hashtbl List Printf Set String

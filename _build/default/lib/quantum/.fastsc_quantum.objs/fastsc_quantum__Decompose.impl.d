@@ -1,0 +1,1 @@
+lib/quantum/decompose.ml: Array Circuit Float Gate List

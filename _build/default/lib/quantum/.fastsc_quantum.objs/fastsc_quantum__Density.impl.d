@@ -1,0 +1,1 @@
+lib/quantum/density.ml: Array Complex Float Gate List Matrix Noisy_sim Printf Statevector

@@ -1,0 +1,1 @@
+lib/quantum/density.mli: Gate Matrix Noisy_sim Statevector

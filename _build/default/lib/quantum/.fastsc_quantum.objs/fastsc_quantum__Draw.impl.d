@@ -1,0 +1,1 @@
+lib/quantum/draw.ml: Array Circuit Gate Layers List Printf String

@@ -1,0 +1,1 @@
+lib/quantum/gate.ml: Complex Complex_ext Float Matrix Printf

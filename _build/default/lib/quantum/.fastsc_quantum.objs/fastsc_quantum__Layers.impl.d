@@ -1,0 +1,1 @@
+lib/quantum/layers.ml: Array Circuit Gate Int Set

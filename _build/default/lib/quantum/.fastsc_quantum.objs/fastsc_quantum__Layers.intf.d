@@ -1,0 +1,1 @@
+lib/quantum/layers.mli: Circuit Gate

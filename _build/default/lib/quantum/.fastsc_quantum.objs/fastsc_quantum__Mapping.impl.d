@@ -1,0 +1,1 @@
+lib/quantum/mapping.ml: Array Circuit Fun Gate Graph List Option Paths Printf Queue

@@ -1,0 +1,1 @@
+lib/quantum/mapping.mli: Circuit Graph

@@ -1,0 +1,1 @@
+lib/quantum/noisy_sim.ml: Complex Gate List Matrix Rng Statevector

@@ -1,0 +1,1 @@
+lib/quantum/noisy_sim.mli: Gate Matrix Rng Statevector

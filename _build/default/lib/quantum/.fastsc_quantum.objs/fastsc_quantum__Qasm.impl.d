@@ -1,0 +1,1 @@
+lib/quantum/qasm.ml: Array Buffer Circuit Gate List Printf String

@@ -1,0 +1,1 @@
+lib/quantum/statevector.ml: Array Circuit Complex Complex_ext Gate List Matrix Printf Rng

@@ -1,0 +1,1 @@
+lib/quantum/statevector.mli: Circuit Complex Gate Matrix Rng

@@ -1,0 +1,1 @@
+lib/quantum/unitary.ml: Array Circuit Complex Float Matrix Statevector

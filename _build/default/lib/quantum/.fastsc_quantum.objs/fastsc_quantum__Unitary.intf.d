@@ -1,0 +1,1 @@
+lib/quantum/unitary.mli: Circuit Complex Gate Matrix

@@ -1,0 +1,99 @@
+type t = { n_qubits : int; instrs : Gate.application array }
+
+type builder = { n : int; mutable rev : Gate.application list; mutable next_id : int }
+
+let builder n =
+  if n <= 0 then invalid_arg "Circuit.builder: qubit count must be positive";
+  { n; rev = []; next_id = 0 }
+
+let add b gate qubits =
+  let expected = Gate.arity gate in
+  if List.length qubits <> expected then
+    invalid_arg
+      (Printf.sprintf "Circuit.add: %s expects %d operand(s)" (Gate.name gate) expected);
+  List.iter
+    (fun q ->
+      if q < 0 || q >= b.n then
+        invalid_arg (Printf.sprintf "Circuit.add: qubit %d out of range [0,%d)" q b.n))
+    qubits;
+  (match qubits with
+  | [ a; b ] when a = b -> invalid_arg "Circuit.add: duplicate operand"
+  | _ -> ());
+  let app = { Gate.id = b.next_id; gate; qubits = Array.of_list qubits } in
+  b.rev <- app :: b.rev;
+  b.next_id <- b.next_id + 1
+
+let finish b = { n_qubits = b.n; instrs = Array.of_list (List.rev b.rev) }
+
+let of_gates n gates =
+  let b = builder n in
+  List.iter (fun (gate, qubits) -> add b gate qubits) gates;
+  finish b
+
+let n_qubits t = t.n_qubits
+
+let instructions t = t.instrs
+
+let length t = Array.length t.instrs
+
+let count pred t =
+  Array.fold_left (fun acc app -> if pred app.Gate.gate then acc + 1 else acc) 0 t.instrs
+
+let n_two_qubit t = count Gate.is_two_qubit t
+
+let two_qubit_pairs t =
+  let module PSet = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let pairs =
+    Array.fold_left
+      (fun acc app ->
+        if Gate.is_two_qubit app.Gate.gate then
+          let a = app.Gate.qubits.(0) and b = app.Gate.qubits.(1) in
+          PSet.add (min a b, max a b) acc
+        else acc)
+      PSet.empty t.instrs
+  in
+  PSet.elements pairs
+
+let map_qubits f t =
+  let seen = Hashtbl.create 16 in
+  let remap q =
+    let q' = f q in
+    (match Hashtbl.find_opt seen q' with
+    | Some original when original <> q ->
+      invalid_arg "Circuit.map_qubits: relabeling is not injective"
+    | _ -> Hashtbl.replace seen q' q);
+    if q' < 0 || q' >= t.n_qubits then
+      invalid_arg "Circuit.map_qubits: target qubit out of range";
+    q'
+  in
+  {
+    t with
+    instrs = Array.map (fun app -> { app with Gate.qubits = Array.map remap app.Gate.qubits }) t.instrs;
+  }
+
+let append a b =
+  if a.n_qubits <> b.n_qubits then invalid_arg "Circuit.append: qubit count mismatch";
+  let shifted =
+    Array.map (fun app -> { app with Gate.id = app.Gate.id + Array.length a.instrs }) b.instrs
+  in
+  { a with instrs = Array.append a.instrs shifted }
+
+let concat_gates t gates =
+  let b = builder t.n_qubits in
+  Array.iter (fun app -> add b app.Gate.gate (Array.to_list app.Gate.qubits)) t.instrs;
+  List.iter (fun (gate, qubits) -> add b gate qubits) gates;
+  finish b
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun app ->
+      Format.fprintf fmt "%s %s@,"
+        (Gate.name app.Gate.gate)
+        (String.concat " " (Array.to_list (Array.map string_of_int app.Gate.qubits))))
+    t.instrs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,53 @@
+(** Quantum circuits as ordered gate sequences.
+
+    The intermediate representation of the compiler: a circuit is a number of
+    qubits plus a program-ordered list of gate applications.  Construction is
+    append-only through a builder so benchmark generators stay O(n); the
+    finished circuit is immutable. *)
+
+type t
+
+type builder
+
+val builder : int -> builder
+(** [builder n] starts an empty circuit on [n] qubits.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val add : builder -> Gate.t -> int list -> unit
+(** [add b gate qubits] appends an application.  The operand count must match
+    the gate arity, operands must be distinct and in range.
+    @raise Invalid_argument otherwise. *)
+
+val finish : builder -> t
+
+val of_gates : int -> (Gate.t * int list) list -> t
+(** One-shot construction. *)
+
+val n_qubits : t -> int
+
+val instructions : t -> Gate.application array
+(** Program order; [ids] run [0 .. length - 1]. *)
+
+val length : t -> int
+(** Number of gate applications. *)
+
+val count : (Gate.t -> bool) -> t -> int
+(** Number of applications whose gate satisfies the predicate. *)
+
+val n_two_qubit : t -> int
+
+val two_qubit_pairs : t -> (int * int) list
+(** Distinct qubit pairs (canonical order) touched by two-qubit gates. *)
+
+val map_qubits : (int -> int) -> t -> t
+(** Relabel qubits (e.g. after placement); the function must be injective on
+    the used qubits. *)
+
+val append : t -> t -> t
+(** Concatenate two circuits on the same qubit count. *)
+
+val concat_gates : t -> (Gate.t * int list) list -> t
+(** Append raw gates to an existing circuit. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per instruction: [cz 3 4]. *)

@@ -1,0 +1,71 @@
+type strategy = All_cz | All_iswap | Hybrid
+
+let strategy_to_string = function
+  | All_cz -> "all-cz"
+  | All_iswap -> "all-iswap"
+  | Hybrid -> "hybrid"
+
+let half_pi = Float.pi /. 2.0
+
+let cnot_via_cz c t = [ (Gate.H, [ t ]); (Gate.Cz, [ c; t ]); (Gate.H, [ t ]) ]
+
+(* CNOT = L2 . iSWAP . M . iSWAP . L1 with
+   L1 = Y (x) Y,
+   M  = [Rz(-pi/2) Ry(pi/2) Rz(pi)] (x) Rz(-pi/2),
+   L2 = Y (x) [Rx(pi/2) Sdg],
+   derived by bin/search_decomp.exe (exact up to global phase). *)
+let cnot_via_iswap c t =
+  [
+    (Gate.Y, [ c ]);
+    (Gate.Y, [ t ]);
+    (Gate.Iswap, [ c; t ]);
+    (Gate.Rz Float.pi, [ c ]);
+    (Gate.Ry half_pi, [ c ]);
+    (Gate.Rz (-.half_pi), [ c ]);
+    (Gate.Rz (-.half_pi), [ t ]);
+    (Gate.Iswap, [ c; t ]);
+    (Gate.Y, [ c ]);
+    (Gate.Sdg, [ t ]);
+    (Gate.Rx half_pi, [ t ]);
+  ]
+
+let swap_via_cz a b =
+  cnot_via_cz a b @ cnot_via_cz b a @ cnot_via_cz a b
+
+(* SWAP = sqrtiSWAP . (Rx(pi/2) (x) Rx(pi/2)) . sqrtiSWAP
+          . (Rx(-pi/2) (x) Rx(-pi/2)) . (H (x) H) . sqrtiSWAP . (H (x) H):
+   the three sqrt-iSWAP applications contribute the XX+YY, XX+ZZ and YY+ZZ
+   thirds of the SWAP interaction (exact up to global phase). *)
+let swap_via_sqrt_iswap a b =
+  [
+    (Gate.H, [ a ]);
+    (Gate.H, [ b ]);
+    (Gate.Sqrt_iswap, [ a; b ]);
+    (Gate.H, [ a ]);
+    (Gate.H, [ b ]);
+    (Gate.Rx (-.half_pi), [ a ]);
+    (Gate.Rx (-.half_pi), [ b ]);
+    (Gate.Sqrt_iswap, [ a; b ]);
+    (Gate.Rx half_pi, [ a ]);
+    (Gate.Rx half_pi, [ b ]);
+    (Gate.Sqrt_iswap, [ a; b ]);
+  ]
+
+let gate strategy g qubits =
+  match (g, qubits, strategy) with
+  | Gate.Cnot, [ c; t ], (All_cz | Hybrid) -> cnot_via_cz c t
+  | Gate.Cnot, [ c; t ], All_iswap -> cnot_via_iswap c t
+  | Gate.Swap, [ a; b ], All_cz -> swap_via_cz a b
+  | Gate.Swap, [ a; b ], (All_iswap | Hybrid) -> swap_via_sqrt_iswap a b
+  | (Gate.Cnot | Gate.Swap), _, _ -> invalid_arg "Decompose.gate: bad operand count"
+  | _ -> [ (g, qubits) ]
+
+let run strategy circuit =
+  let b = Circuit.builder (Circuit.n_qubits circuit) in
+  Array.iter
+    (fun app ->
+      List.iter
+        (fun (g, qs) -> Circuit.add b g qs)
+        (gate strategy app.Gate.gate (Array.to_list app.Gate.qubits)))
+    (Circuit.instructions circuit);
+  Circuit.finish b

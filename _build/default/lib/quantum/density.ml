@@ -1,0 +1,215 @@
+type t = { n : int; rho : Matrix.t }
+
+let create n =
+  if n < 1 || n > 10 then invalid_arg "Density.create: supported range is 1..10 qubits";
+  let dim = 1 lsl n in
+  let rho = Matrix.create dim dim in
+  Matrix.set rho 0 0 Complex.one;
+  { n; rho }
+
+let of_statevector sv =
+  let n = Statevector.n_qubits sv in
+  if n > 10 then invalid_arg "Density.of_statevector: too many qubits";
+  let amps = Statevector.amplitudes sv in
+  let dim = Array.length amps in
+  let rho = Matrix.init dim dim (fun i j -> Complex.mul amps.(i) (Complex.conj amps.(j))) in
+  { n; rho }
+
+let n_qubits t = t.n
+
+let dim t = 1 lsl t.n
+
+let trace t = (Matrix.trace t.rho).Complex.re
+
+let purity t = (Matrix.trace (Matrix.mul t.rho t.rho)).Complex.re
+
+let population t k = (Matrix.get t.rho k k).Complex.re
+
+let check_qubit t q =
+  if q < 0 || q >= t.n then invalid_arg (Printf.sprintf "Density: qubit %d out of range" q)
+
+(* rho <- (M on qubit q) rho : mixes row pairs *)
+let left_mul1 t m q =
+  check_qubit t q;
+  let mask = 1 lsl q in
+  let d = dim t in
+  let m00 = Matrix.get m 0 0 and m01 = Matrix.get m 0 1 in
+  let m10 = Matrix.get m 1 0 and m11 = Matrix.get m 1 1 in
+  for i = 0 to d - 1 do
+    if i land mask = 0 then
+      for j = 0 to d - 1 do
+        let a = Matrix.get t.rho i j and b = Matrix.get t.rho (i lor mask) j in
+        Matrix.set t.rho i j (Complex.add (Complex.mul m00 a) (Complex.mul m01 b));
+        Matrix.set t.rho (i lor mask) j (Complex.add (Complex.mul m10 a) (Complex.mul m11 b))
+      done
+  done
+
+(* rho <- rho (M on qubit q) : mixes column pairs *)
+let right_mul1 t m q =
+  check_qubit t q;
+  let mask = 1 lsl q in
+  let d = dim t in
+  let m00 = Matrix.get m 0 0 and m01 = Matrix.get m 0 1 in
+  let m10 = Matrix.get m 1 0 and m11 = Matrix.get m 1 1 in
+  for j = 0 to d - 1 do
+    if j land mask = 0 then
+      for i = 0 to d - 1 do
+        let a = Matrix.get t.rho i j and b = Matrix.get t.rho i (j lor mask) in
+        Matrix.set t.rho i j (Complex.add (Complex.mul a m00) (Complex.mul b m10));
+        Matrix.set t.rho i (j lor mask) (Complex.add (Complex.mul a m01) (Complex.mul b m11))
+      done
+  done
+
+let apply_unitary1 t u q =
+  if Matrix.rows u <> 2 || Matrix.cols u <> 2 then
+    invalid_arg "Density.apply_unitary1: expected 2x2";
+  left_mul1 t u q;
+  right_mul1 t (Matrix.adjoint u) q
+
+let pair_indices hi lo i = (i, i lor lo, i lor hi, i lor hi lor lo)
+
+let left_mul2 t m q_first q_second =
+  let hi = 1 lsl q_first and lo = 1 lsl q_second in
+  let d = dim t in
+  for i = 0 to d - 1 do
+    if i land hi = 0 && i land lo = 0 then
+      for j = 0 to d - 1 do
+        let i0, i1, i2, i3 = pair_indices hi lo i in
+        let rows = [| i0; i1; i2; i3 |] in
+        let old = Array.map (fun r -> Matrix.get t.rho r j) rows in
+        Array.iteri
+          (fun r row ->
+            let acc = ref Complex.zero in
+            for c = 0 to 3 do
+              acc := Complex.add !acc (Complex.mul (Matrix.get m r c) old.(c))
+            done;
+            Matrix.set t.rho row j !acc)
+          rows
+      done
+  done
+
+let right_mul2 t m q_first q_second =
+  let hi = 1 lsl q_first and lo = 1 lsl q_second in
+  let d = dim t in
+  for j = 0 to d - 1 do
+    if j land hi = 0 && j land lo = 0 then
+      for i = 0 to d - 1 do
+        let j0, j1, j2, j3 = pair_indices hi lo j in
+        let cols = [| j0; j1; j2; j3 |] in
+        let old = Array.map (fun c -> Matrix.get t.rho i c) cols in
+        Array.iteri
+          (fun c col ->
+            let acc = ref Complex.zero in
+            for k = 0 to 3 do
+              acc := Complex.add !acc (Complex.mul old.(k) (Matrix.get m k c))
+            done;
+            Matrix.set t.rho i col !acc)
+          cols
+      done
+  done
+
+let apply_unitary2 t u q_first q_second =
+  if Matrix.rows u <> 4 || Matrix.cols u <> 4 then
+    invalid_arg "Density.apply_unitary2: expected 4x4";
+  check_qubit t q_first;
+  check_qubit t q_second;
+  if q_first = q_second then invalid_arg "Density.apply_unitary2: duplicate qubit";
+  left_mul2 t u q_first q_second;
+  right_mul2 t (Matrix.adjoint u) q_first q_second
+
+let apply_gate t gate qubits =
+  match (Gate.arity gate, qubits) with
+  | 1, [ q ] -> apply_unitary1 t (Gate.unitary gate) q
+  | 2, [ a; b ] -> apply_unitary2 t (Gate.unitary gate) a b
+  | _ -> invalid_arg "Density.apply_gate: operand count mismatch"
+
+let check_completeness kraus =
+  let sum =
+    List.fold_left
+      (fun acc k -> Matrix.add acc (Matrix.mul (Matrix.adjoint k) k))
+      (Matrix.create 2 2) kraus
+  in
+  if not (Matrix.approx_equal ~tol:1e-6 sum (Matrix.identity 2)) then
+    invalid_arg "Density.apply_kraus1: Kraus operators do not sum to identity"
+
+let apply_kraus1 t kraus q =
+  check_qubit t q;
+  check_completeness kraus;
+  let original = Matrix.copy t.rho in
+  let total = Matrix.create (dim t) (dim t) in
+  let accumulate k =
+    let term = { t with rho = Matrix.copy original } in
+    left_mul1 term k q;
+    right_mul1 term (Matrix.adjoint k) q;
+    for i = 0 to dim t - 1 do
+      for j = 0 to dim t - 1 do
+        Matrix.set total i j (Complex.add (Matrix.get total i j) (Matrix.get term.rho i j))
+      done
+    done
+  in
+  List.iter accumulate kraus;
+  for i = 0 to dim t - 1 do
+    for j = 0 to dim t - 1 do
+      Matrix.set t.rho i j (Matrix.get total i j)
+    done
+  done
+
+let c re = { Complex.re; im = 0.0 }
+
+let amplitude_damping ~gamma =
+  if gamma < 0.0 || gamma > 1.0 then invalid_arg "Density.amplitude_damping: gamma in [0,1]";
+  [
+    Matrix.of_arrays [| [| Complex.one; Complex.zero |]; [| Complex.zero; c (sqrt (1.0 -. gamma)) |] |];
+    Matrix.of_arrays [| [| Complex.zero; c (sqrt gamma) |]; [| Complex.zero; Complex.zero |] |];
+  ]
+
+let phase_damping ~lambda =
+  if lambda < 0.0 || lambda > 1.0 then invalid_arg "Density.phase_damping: lambda in [0,1]";
+  [
+    Matrix.of_arrays [| [| Complex.one; Complex.zero |]; [| Complex.zero; c (sqrt (1.0 -. lambda)) |] |];
+    Matrix.of_arrays [| [| Complex.zero; Complex.zero |]; [| Complex.zero; c (sqrt lambda) |] |];
+  ]
+
+let thermal_relaxation t ~q ~t1 ~t2 ~time =
+  if t1 <= 0.0 || t2 <= 0.0 then invalid_arg "Density.thermal_relaxation: T1, T2 positive";
+  if time < 0.0 then invalid_arg "Density.thermal_relaxation: negative time";
+  let gamma = 1.0 -. exp (-.time /. t1) in
+  let phi_rate = Float.max 0.0 ((1.0 /. t2) -. (1.0 /. (2.0 *. t1))) in
+  (* off-diagonals decay by e^{-t phi_rate}: sqrt(1 - lambda) = e^{-t phi_rate} *)
+  let lambda = 1.0 -. exp (-2.0 *. time *. phi_rate) in
+  apply_kraus1 t (amplitude_damping ~gamma) q;
+  apply_kraus1 t (phase_damping ~lambda) q
+
+let pauli_channel ~p_x ~p_y ~p_z =
+  let p0 = 1.0 -. p_x -. p_y -. p_z in
+  if p0 < -1e-12 then invalid_arg "Density.pauli_channel: probabilities exceed 1";
+  let scale p g = Matrix.scale_re (sqrt (Float.max 0.0 p)) (Gate.unitary g) in
+  [ scale p0 Gate.I; scale p_x Gate.X; scale p_y Gate.Y; scale p_z Gate.Z ]
+
+let run_steps ~n_qubits steps =
+  let t = create n_qubits in
+  List.iter
+    (fun step ->
+      List.iter
+        (function
+          | Noisy_sim.Unitary (gate, qubits) -> apply_gate t gate qubits
+          | Noisy_sim.Partial_exchange { a; b; theta } ->
+            apply_unitary2 t (Noisy_sim.exchange_unitary theta) a b
+          | Noisy_sim.Pauli_noise { q; p_x; p_y; p_z } ->
+            apply_kraus1 t (pauli_channel ~p_x ~p_y ~p_z) q)
+        step)
+    steps;
+  t
+
+let fidelity_pure t sv =
+  if Statevector.n_qubits sv <> t.n then invalid_arg "Density.fidelity_pure: size mismatch";
+  let amps = Statevector.amplitudes sv in
+  let acc = ref Complex.zero in
+  for i = 0 to dim t - 1 do
+    for j = 0 to dim t - 1 do
+      acc :=
+        Complex.add !acc
+          (Complex.mul (Complex.conj amps.(i)) (Complex.mul (Matrix.get t.rho i j) amps.(j)))
+    done
+  done;
+  !acc.Complex.re

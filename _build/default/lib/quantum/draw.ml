@@ -1,0 +1,73 @@
+(* Each layer renders into one fixed-width column; wires are '-', idle
+   crossings of a two-qubit link are '|'. *)
+
+let label_of app =
+  match app.Gate.qubits with
+  | [| _ |] -> Gate.name app.Gate.gate
+  | _ -> Gate.name app.Gate.gate
+
+let render_layers n_qubits layers =
+  List.map
+    (fun layer ->
+      (* cell text per qubit for this column *)
+      let cells = Array.make n_qubits "" in
+      let links = Array.make n_qubits false in
+      List.iter
+        (fun app ->
+          match app.Gate.qubits with
+          | [| q |] -> cells.(q) <- label_of app
+          | [| a; b |] ->
+            cells.(a) <- "*";
+            cells.(b) <- label_of app;
+            for q = min a b + 1 to max a b - 1 do
+              if cells.(q) = "" then links.(q) <- true
+            done
+          | _ -> ())
+        layer;
+      let width =
+        Array.fold_left (fun acc cell -> max acc (String.length cell)) 1 cells
+      in
+      Array.init n_qubits (fun q ->
+          if cells.(q) <> "" then begin
+            let pad = width - String.length cells.(q) in
+            let left = pad / 2 and right = pad - (pad / 2) in
+            String.make left '-' ^ cells.(q) ^ String.make right '-'
+          end
+          else if links.(q) then begin
+            let left = (width - 1) / 2 in
+            String.make left '-' ^ "|" ^ String.make (width - 1 - left) '-'
+          end
+          else String.make width '-'))
+    layers
+
+let assemble n_qubits columns =
+  let rows =
+    List.init n_qubits (fun q ->
+        Printf.sprintf "q%-2d: -%s-" q
+          (String.concat "-" (List.map (fun col -> col.(q)) columns)))
+  in
+  String.concat "\n" rows
+
+let circuit ?(max_width = 20) c =
+  if max_width < 1 then invalid_arg "Draw.circuit: max_width must be positive";
+  let n = Circuit.n_qubits c in
+  let layers = Layers.slice c in
+  if layers = [] then
+    String.concat "\n" (List.init n (fun q -> Printf.sprintf "q%-2d: ---" q))
+  else begin
+    let columns = render_layers n layers in
+    (* split into banks of max_width columns *)
+    let rec banks acc current count = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | col :: rest ->
+        if count = max_width then banks (List.rev current :: acc) [ col ] 1 rest
+        else banks acc (col :: current) (count + 1) rest
+    in
+    String.concat "\n\n" (List.map (assemble n) (banks [] [] 0 columns))
+  end
+
+let layer c index =
+  let layers = Layers.slice c in
+  if index < 0 || index >= List.length layers then
+    invalid_arg "Draw.layer: index out of range";
+  assemble (Circuit.n_qubits c) [ List.nth (render_layers (Circuit.n_qubits c) layers) index ]

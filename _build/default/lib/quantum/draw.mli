@@ -1,0 +1,14 @@
+(** ASCII circuit rendering.
+
+    Terminal-friendly diagrams for the CLI and examples: one row per qubit,
+    one column per ASAP layer, two-qubit gates drawn with a vertical link
+    between their operands ([*] marks the first operand — the control for
+    CNOT).  Long circuits wrap into banks of [max_width] columns. *)
+
+val circuit : ?max_width:int -> Circuit.t -> string
+(** Render the whole circuit; [max_width] (default 20) bounds the layers per
+    bank. *)
+
+val layer : Circuit.t -> int -> string
+(** Render a single ASAP layer (0-based).
+    @raise Invalid_argument if the index is out of range. *)

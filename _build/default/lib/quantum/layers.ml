@@ -1,0 +1,59 @@
+let layer_index circuit =
+  let instrs = Circuit.instructions circuit in
+  let layer = Array.make (Array.length instrs) 0 in
+  (* frontier.(q): first layer at which qubit q is free *)
+  let frontier = Array.make (Circuit.n_qubits circuit) 0 in
+  Array.iter
+    (fun app ->
+      let earliest = Array.fold_left (fun acc q -> max acc frontier.(q)) 0 app.Gate.qubits in
+      layer.(app.Gate.id) <- earliest;
+      Array.iter (fun q -> frontier.(q) <- earliest + 1) app.Gate.qubits)
+    instrs;
+  layer
+
+let slice circuit =
+  let instrs = Circuit.instructions circuit in
+  let layer = layer_index circuit in
+  let n_layers = Array.fold_left (fun acc l -> max acc (l + 1)) 0 layer in
+  let buckets = Array.make n_layers [] in
+  (* reverse iteration keeps each bucket in program order *)
+  for i = Array.length instrs - 1 downto 0 do
+    let app = instrs.(i) in
+    buckets.(layer.(app.Gate.id)) <- app :: buckets.(layer.(app.Gate.id))
+  done;
+  Array.to_list buckets
+
+let depth circuit =
+  Array.fold_left (fun acc l -> max acc (l + 1)) 0 (layer_index circuit)
+
+let criticality circuit =
+  let instrs = Circuit.instructions circuit in
+  let n = Array.length instrs in
+  let crit = Array.make n 0 in
+  (* height.(q): longest chain hanging below the current frontier of qubit q *)
+  let height = Array.make (Circuit.n_qubits circuit) 0 in
+  for i = n - 1 downto 0 do
+    let app = instrs.(i) in
+    let below = Array.fold_left (fun acc q -> max acc height.(q)) 0 app.Gate.qubits in
+    crit.(app.Gate.id) <- below + 1;
+    Array.iter (fun q -> height.(q) <- below + 1) app.Gate.qubits
+  done;
+  crit
+
+let qubit_busy_layers circuit =
+  let layer = layer_index circuit in
+  let busy = Array.make (Circuit.n_qubits circuit) 0 in
+  let module ISet = Set.Make (Int) in
+  let seen = Array.make (Circuit.n_qubits circuit) ISet.empty in
+  Array.iter
+    (fun app ->
+      Array.iter
+        (fun q ->
+          let l = layer.(app.Gate.id) in
+          if not (ISet.mem l seen.(q)) then begin
+            seen.(q) <- ISet.add l seen.(q);
+            busy.(q) <- busy.(q) + 1
+          end)
+        app.Gate.qubits)
+    (Circuit.instructions circuit);
+  busy

@@ -1,0 +1,28 @@
+(** Circuit slicing and criticality analysis (paper §V-A, Algorithm 1 line 7
+    and §V-B6).
+
+    Slicing partitions a circuit into layers (time steps) of
+    qubit-disjoint gates, as-soon-as-possible: each gate lands in the first
+    layer after all gates it depends on (i.e. earlier gates sharing a qubit).
+    The criticality of a gate is its height above the end of the program
+    along the dependency DAG — the scheduler serializes low-criticality
+    gates first so the critical path is preserved (§V-B6). *)
+
+val slice : Circuit.t -> Gate.application list list
+(** ASAP layers, in time order; the concatenation is a permutation of the
+    circuit's instructions. *)
+
+val depth : Circuit.t -> int
+(** Number of ASAP layers. *)
+
+val layer_index : Circuit.t -> int array
+(** [layer_index c].(id) is the ASAP layer of instruction [id]. *)
+
+val criticality : Circuit.t -> int array
+(** [criticality c].(id) = length of the longest dependency chain from this
+    instruction (inclusive) to the end of the circuit.  Gates on the program
+    critical path have the largest values in their layer. *)
+
+val qubit_busy_layers : Circuit.t -> int array
+(** For each qubit, the number of layers in which it executes a gate —
+    used by decoherence accounting for idle-time estimation. *)

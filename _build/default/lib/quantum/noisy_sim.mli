@@ -1,0 +1,42 @@
+(** Noisy circuit simulation by Monte-Carlo trajectories.
+
+    The paper's success-rate metric (eq 4) is a heuristic; §VI-C validates it
+    against full noisy simulation on small circuits.  This module is that
+    full simulation: a schedule is lowered to a sequence of steps, each
+    containing the intended unitaries plus the physical noise processes of
+    that time slice —
+
+    - {e coherent crosstalk}: every spectator coupling detuned by
+      [delta_omega] experiences a partial excitation exchange of angle
+      [2 pi g'(delta_omega) t] during the slice (the microscopic process
+      behind eq 6), applied as a deterministic unitary;
+    - {e decoherence}: each qubit suffers a stochastic Pauli error with
+      per-slice probability derived from T1/T2, sampled per trajectory.
+
+    Averaging trajectory fidelities against the ideal state gives the
+    simulated success probability that the heuristic is validated against. *)
+
+type event =
+  | Unitary of Gate.t * int list  (** An intended gate. *)
+  | Partial_exchange of { a : int; b : int; theta : float }
+      (** Coherent crosstalk: exchange |01>,|10> with mixing angle [theta]
+          (full swap at [theta = pi/2]). *)
+  | Pauli_noise of { q : int; p_x : float; p_y : float; p_z : float }
+      (** Stochastic single-qubit Pauli channel for this slice. *)
+
+type step = event list
+
+val exchange_unitary : float -> Matrix.t
+(** The 4x4 partial-iSWAP unitary for mixing angle [theta] (paper sign
+    convention: [-i sin theta] off-diagonals). *)
+
+val run_trajectory : Rng.t -> n_qubits:int -> step list -> Statevector.t
+(** One stochastic trajectory from |0..0>. *)
+
+val average_fidelity :
+  Rng.t -> n_qubits:int -> ideal:Statevector.t -> steps:step list -> trials:int -> float
+(** Mean fidelity of [trials] noisy trajectories against the ideal state —
+    the simulated program success rate. *)
+
+val ideal_of_steps : n_qubits:int -> step list -> Statevector.t
+(** The noise-free reference: applies only the [Unitary] events. *)

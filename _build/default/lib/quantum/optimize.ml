@@ -1,0 +1,126 @@
+let tau = 2.0 *. Float.pi
+
+(* Normalise a rotation angle into (-pi, pi]. *)
+let normalize_angle theta =
+  let t = Float.rem theta tau in
+  let t = if t > Float.pi then t -. tau else if t <= -.Float.pi then t +. tau else t in
+  t
+
+let negligible theta = Float.abs (normalize_angle theta) < 1e-12
+
+(* Outcome of trying to merge two adjacent gates on the same qubits. *)
+type merge =
+  | Cancel  (** The pair is the identity (up to global phase). *)
+  | Replace of (Gate.t * int list) list  (** The pair rewrites to these gates. *)
+  | Keep  (** No rule applies. *)
+
+let same_set a b =
+  List.sort compare a = List.sort compare b
+
+let combine (g1, qs1) (g2, qs2) =
+  let fused axis a b qs =
+    let total = normalize_angle (a +. b) in
+    if negligible total then Cancel else Replace [ (axis total, qs) ]
+  in
+  match (g1, g2) with
+  | Gate.Rx a, Gate.Rx b -> fused (fun t -> Gate.Rx t) a b qs1
+  | Gate.Ry a, Gate.Ry b -> fused (fun t -> Gate.Ry t) a b qs1
+  | Gate.Rz a, Gate.Rz b -> fused (fun t -> Gate.Rz t) a b qs1
+  | Gate.H, Gate.H | Gate.X, Gate.X | Gate.Y, Gate.Y | Gate.Z, Gate.Z -> Cancel
+  | Gate.S, Gate.Sdg | Gate.Sdg, Gate.S | Gate.T, Gate.Tdg | Gate.Tdg, Gate.T -> Cancel
+  | Gate.S, Gate.S -> Replace [ (Gate.Z, qs1) ]
+  | Gate.Sdg, Gate.Sdg -> Replace [ (Gate.Z, qs1) ]
+  | Gate.T, Gate.T -> Replace [ (Gate.S, qs1) ]
+  | Gate.Tdg, Gate.Tdg -> Replace [ (Gate.Sdg, qs1) ]
+  | Gate.Cz, Gate.Cz when same_set qs1 qs2 -> Cancel
+  | Gate.Swap, Gate.Swap when same_set qs1 qs2 -> Cancel
+  | Gate.Cnot, Gate.Cnot when qs1 = qs2 -> Cancel
+  | Gate.Sqrt_iswap, Gate.Sqrt_iswap when same_set qs1 qs2 ->
+    Replace [ (Gate.Iswap, qs1) ]
+  | Gate.Xy a, Gate.Xy b when same_set qs1 qs2 ->
+    (* XY angles compose on the exchange axis (period 4pi overall, but the
+       computational block repeats at 4pi in theta/2 = 2pi in theta with a
+       sign handled by the unitary itself) *)
+    let total = a +. b in
+    if negligible (total /. 2.0) then Cancel else Replace [ (Gate.Xy total, qs1) ]
+  | Gate.Iswap, Gate.Iswap when same_set qs1 qs2 -> (
+    (* iSWAP^2 = Z (x) Z up to global phase: two cheap 1q gates *)
+    match qs1 with
+    | [ a; b ] -> Replace [ (Gate.Z, [ a ]); (Gate.Z, [ b ]) ]
+    | _ -> Keep)
+  | _ -> Keep
+
+(* One forward pass.  [out] holds surviving gates (None = deleted);
+   [last.(q)] indexes the latest surviving gate touching qubit [q]. *)
+let pass gates n_qubits =
+  (* slots are never reused after deletion, and each merge appends at most
+     two replacement gates, so 2n + 2 slots always suffice *)
+  let out : (Gate.t * int list) option array =
+    Array.make ((2 * List.length gates) + 2) None
+  in
+  let filled = ref 0 in
+  let last = Array.make n_qubits (-1) in
+  let changed = ref false in
+  let clear_last qs = List.iter (fun q -> last.(q) <- -1) qs in
+  let append (g, qs) =
+    out.(!filled) <- Some (g, qs);
+    List.iter (fun q -> last.(q) <- !filled) qs;
+    incr filled
+  in
+  let emit (g, qs) =
+    let skip =
+      match g with
+      | Gate.I -> true
+      | Gate.Rx t | Gate.Ry t | Gate.Rz t -> negligible t
+      | _ -> false
+    in
+    if skip then changed := true
+    else begin
+      let prev_indices = List.map (fun q -> last.(q)) qs in
+      let mergeable =
+        match prev_indices with
+        | idx :: rest when idx >= 0 && List.for_all (fun i -> i = idx) rest -> (
+          match out.(idx) with
+          | Some (pg, pqs) when same_set pqs qs -> Some (idx, (pg, pqs))
+          | _ -> None)
+        | _ -> None
+      in
+      match mergeable with
+      | Some (idx, prev) -> (
+        match combine prev (g, qs) with
+        | Cancel ->
+          out.(idx) <- None;
+          clear_last qs;
+          changed := true
+        | Replace replacements ->
+          out.(idx) <- None;
+          clear_last qs;
+          List.iter append replacements;
+          changed := true
+        | Keep -> append (g, qs))
+      | None -> append (g, qs)
+    end
+  in
+  List.iter emit gates;
+  let survivors = List.filter_map Fun.id (Array.to_list out) in
+  (survivors, !changed)
+
+let run circuit =
+  let n = Circuit.n_qubits circuit in
+  let gates =
+    Array.to_list
+      (Array.map
+         (fun app -> (app.Gate.gate, Array.to_list app.Gate.qubits))
+         (Circuit.instructions circuit))
+  in
+  let rec fixpoint gates iterations =
+    if iterations = 0 then gates
+    else
+      let gates', changed = pass gates n in
+      if changed then fixpoint gates' (iterations - 1) else gates'
+  in
+  (* gate count strictly decreases on every changing pass except rotation
+     refusions, so length + 1 passes always suffice; cap generously *)
+  Circuit.of_gates n (fixpoint gates (List.length gates + 2))
+
+let removed before after = Circuit.length before - Circuit.length after

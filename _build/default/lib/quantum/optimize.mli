@@ -1,0 +1,25 @@
+(** Peephole circuit optimization.
+
+    Gate-level cleanups applied before scheduling: every gate removed is a
+    control-error term and a time slice the device never pays for.  The
+    passes are semantics-preserving (unitary equivalence up to global phase,
+    property-tested against the state-vector simulator):
+
+    - {e rotation fusion}: adjacent same-axis rotations on one qubit merge,
+      [Rz a; Rz b -> Rz (a+b)]; angles are normalised into (-pi, pi] and
+      near-zero rotations (and explicit [I] gates) are dropped;
+    - {e involution cancellation}: adjacent self-inverse pairs vanish —
+      [H H], [X X], [Y Y], [Z Z], [CZ CZ], [CNOT CNOT], [SWAP SWAP] on
+      identical operands;
+    - {e inverse cancellation}: adjacent [S Sdg], [T Tdg] (either order).
+
+    "Adjacent" means no intervening gate touches the shared qubits, so the
+    passes commute gates past unrelated wires implicitly.  Passes iterate to
+    a fixed point. *)
+
+val run : Circuit.t -> Circuit.t
+(** Optimize to fixpoint.  The result has the same qubit count and acts as
+    the same unitary up to global phase. *)
+
+val removed : Circuit.t -> Circuit.t -> int
+(** Convenience: gate-count difference between input and output. *)

@@ -1,0 +1,175 @@
+exception Parse_error of int * string
+
+let gate_name = function
+  | Gate.I -> "id"
+  | Gate.X -> "x"
+  | Gate.Y -> "y"
+  | Gate.Z -> "z"
+  | Gate.H -> "h"
+  | Gate.S -> "s"
+  | Gate.Sdg -> "sdg"
+  | Gate.T -> "t"
+  | Gate.Tdg -> "tdg"
+  | Gate.Sx -> "sx"
+  | Gate.Sy -> "sy"
+  | Gate.Sw -> "sw"
+  | Gate.Rx _ -> "rx"
+  | Gate.Ry _ -> "ry"
+  | Gate.Rz _ -> "rz"
+  | Gate.Cz -> "cz"
+  | Gate.Iswap -> "iswap"
+  | Gate.Sqrt_iswap -> "siswap"
+  | Gate.Xy _ -> "xy"
+  | Gate.Cnot -> "cx"
+  | Gate.Swap -> "swap"
+
+let angle_of = function
+  | Gate.Rx t | Gate.Ry t | Gate.Rz t | Gate.Xy t -> Some t
+  | _ -> None
+
+let to_string circuit =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "OPENQASM 2.0;\n";
+  Buffer.add_string buffer "include \"qelib1.inc\";\n";
+  (* natives that qelib1 does not define *)
+  Buffer.add_string buffer "opaque iswap a, b;\n";
+  Buffer.add_string buffer "opaque siswap a, b;\n";
+  Buffer.add_string buffer "opaque xy(theta) a, b;\n";
+  Buffer.add_string buffer "opaque sy a;\n";
+  Buffer.add_string buffer "opaque sw a;\n";
+  Buffer.add_string buffer (Printf.sprintf "qreg q[%d];\n" (Circuit.n_qubits circuit));
+  Array.iter
+    (fun app ->
+      let name = gate_name app.Gate.gate in
+      let params =
+        match angle_of app.Gate.gate with
+        | Some theta -> Printf.sprintf "(%.17g)" theta
+        | None -> ""
+      in
+      let operands =
+        String.concat ", "
+          (List.map (Printf.sprintf "q[%d]") (Array.to_list app.Gate.qubits))
+      in
+      Buffer.add_string buffer (Printf.sprintf "%s%s %s;\n" name params operands))
+    (Circuit.instructions circuit);
+  Buffer.contents buffer
+
+let gate_of_name line_no name param =
+  let need_param () =
+    match param with
+    | Some theta -> theta
+    | None -> raise (Parse_error (line_no, name ^ " needs an angle parameter"))
+  in
+  let no_param gate =
+    match param with
+    | None -> gate
+    | Some _ -> raise (Parse_error (line_no, name ^ " takes no parameter"))
+  in
+  match name with
+  | "id" -> no_param Gate.I
+  | "x" -> no_param Gate.X
+  | "y" -> no_param Gate.Y
+  | "z" -> no_param Gate.Z
+  | "h" -> no_param Gate.H
+  | "s" -> no_param Gate.S
+  | "sdg" -> no_param Gate.Sdg
+  | "t" -> no_param Gate.T
+  | "tdg" -> no_param Gate.Tdg
+  | "sx" -> no_param Gate.Sx
+  | "sy" -> no_param Gate.Sy
+  | "sw" -> no_param Gate.Sw
+  | "rx" -> Gate.Rx (need_param ())
+  | "ry" -> Gate.Ry (need_param ())
+  | "rz" -> Gate.Rz (need_param ())
+  | "cz" -> no_param Gate.Cz
+  | "iswap" -> no_param Gate.Iswap
+  | "siswap" -> no_param Gate.Sqrt_iswap
+  | "xy" -> Gate.Xy (need_param ())
+  | "cx" -> no_param Gate.Cnot
+  | "swap" -> no_param Gate.Swap
+  | other -> raise (Parse_error (line_no, "unknown gate " ^ other))
+
+let strip_comment line =
+  match String.index_opt line '/' with
+  | Some i when i + 1 < String.length line && line.[i + 1] = '/' -> String.sub line 0 i
+  | _ -> line
+
+let parse_operand line_no token =
+  let token = String.trim token in
+  let n = String.length token in
+  if n >= 4 && String.sub token 0 2 = "q[" && token.[n - 1] = ']' then
+    match int_of_string_opt (String.sub token 2 (n - 3)) with
+    | Some q -> q
+    | None -> raise (Parse_error (line_no, "bad operand " ^ token))
+  else raise (Parse_error (line_no, "bad operand " ^ token))
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n_qubits = ref 0 in
+  let gates = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line_no = idx + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then begin
+        let starts_with prefix =
+          String.length line >= String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+        in
+        if starts_with "OPENQASM" || starts_with "include" || starts_with "opaque" then ()
+        else if starts_with "qreg" then begin
+          if !n_qubits > 0 then raise (Parse_error (line_no, "multiple qreg declarations"));
+          match String.index_opt line '[' with
+          | None -> raise (Parse_error (line_no, "malformed qreg"))
+          | Some open_idx -> (
+            match String.index_from_opt line open_idx ']' with
+            | None -> raise (Parse_error (line_no, "malformed qreg"))
+            | Some close_idx -> (
+              let size = String.sub line (open_idx + 1) (close_idx - open_idx - 1) in
+              match int_of_string_opt size with
+              | Some n when n > 0 -> n_qubits := n
+              | _ -> raise (Parse_error (line_no, "bad register size"))))
+        end
+        else begin
+          if !n_qubits = 0 then raise (Parse_error (line_no, "gate before qreg"));
+          let line =
+            if String.length line > 0 && line.[String.length line - 1] = ';' then
+              String.sub line 0 (String.length line - 1)
+            else raise (Parse_error (line_no, "missing trailing semicolon"))
+          in
+          (* split "name(param)? operands" *)
+          let head, operand_text =
+            match String.index_opt line ' ' with
+            | None -> raise (Parse_error (line_no, "malformed statement"))
+            | Some i ->
+              (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+          in
+          let name, param =
+            match String.index_opt head '(' with
+            | None -> (head, None)
+            | Some open_idx -> (
+              match String.index_from_opt head open_idx ')' with
+              | None -> raise (Parse_error (line_no, "unclosed parameter list"))
+              | Some close_idx -> (
+                let inside = String.sub head (open_idx + 1) (close_idx - open_idx - 1) in
+                match float_of_string_opt (String.trim inside) with
+                | Some theta -> (String.sub head 0 open_idx, Some theta)
+                | None -> raise (Parse_error (line_no, "bad angle " ^ inside))))
+          in
+          let gate = gate_of_name line_no name param in
+          let operands =
+            List.map (parse_operand line_no) (String.split_on_char ',' operand_text)
+          in
+          if List.length operands <> Gate.arity gate then
+            raise (Parse_error (line_no, "operand count mismatch for " ^ name));
+          List.iter
+            (fun q ->
+              if q < 0 || q >= !n_qubits then
+                raise (Parse_error (line_no, Printf.sprintf "qubit %d out of register" q)))
+            operands;
+          gates := (gate, operands) :: !gates
+        end
+      end)
+    lines;
+  if !n_qubits = 0 then raise (Parse_error (0, "no qreg declaration"));
+  Circuit.of_gates !n_qubits (List.rev !gates)

@@ -1,0 +1,23 @@
+(** OpenQASM 2.0 interchange.
+
+    Lets circuits flow between this compiler and the wider ecosystem
+    (Qiskit-era toolchains speak QASM 2.0).  The writer emits standard
+    [qelib1]-style gate names, defining the non-standard natives
+    ([iswap], [siswap], [sw]) as opaque gates in the header; the reader
+    accepts exactly the subset the writer produces (one register, one gate
+    per line), so [of_string (to_string c)] round-trips every circuit this
+    system can build. *)
+
+val to_string : Circuit.t -> string
+(** Serialize; deterministic, one instruction per line. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val of_string : string -> Circuit.t
+(** Parse the supported subset: the [OPENQASM]/[include] headers and
+    [opaque]/[gate] declarations are accepted and ignored; a single
+    [qreg q[n];] sizes the circuit; each following line is one application
+    [name(params?) q[i](, q[j])?;].  Comments ([// ...]) and blank lines are
+    skipped.
+    @raise Parse_error on anything else. *)

@@ -1,0 +1,64 @@
+(** Ideal state-vector simulation.
+
+    Replaces Qiskit Aer for the scales this paper needs: verifying gate
+    decompositions (unitary equivalence up to global phase), computing ideal
+    output distributions for the success-rate validation (§VI-C), and the
+    reference states against which noisy trajectories are scored.  Amplitude
+    arrays are dense, so practical up to roughly 14 qubits.
+
+    Bit convention: qubit [k] is bit [k] of the basis-state index (qubit 0 is
+    least significant).  For two-qubit gates the {e first} operand is the
+    most significant bit of the 4x4 matrix basis, matching
+    {!Gate.unitary}. *)
+
+type t
+
+val create : int -> t
+(** [create n] is |0...0> on [n] qubits.
+    @raise Invalid_argument unless [1 <= n <= 24]. *)
+
+val of_amplitudes : Complex.t array -> t
+(** Takes ownership of the array; length must be a power of two.  The state
+    is not renormalised. *)
+
+val n_qubits : t -> int
+
+val copy : t -> t
+
+val amplitudes : t -> Complex.t array
+(** A copy of the current amplitudes. *)
+
+val amplitude : t -> int -> Complex.t
+
+val apply : t -> Gate.t -> int list -> unit
+(** Apply a gate in place.
+    @raise Invalid_argument on arity/range errors. *)
+
+val apply_matrix1 : t -> Matrix.t -> int -> unit
+(** Apply an arbitrary 2x2 unitary to one qubit. *)
+
+val apply_matrix2 : t -> Matrix.t -> int -> int -> unit
+(** Apply an arbitrary 4x4 unitary to an ordered qubit pair (first operand =
+    most significant). *)
+
+val run : t -> Circuit.t -> unit
+(** Apply every instruction of the circuit in order. *)
+
+val of_circuit : Circuit.t -> t
+(** Fresh |0..0> state with the circuit applied. *)
+
+val probability : t -> int -> float
+(** Probability of one basis outcome. *)
+
+val probabilities : t -> float array
+
+val fidelity : t -> t -> float
+(** [|<a|b>|^2].
+    @raise Invalid_argument on size mismatch. *)
+
+val norm : t -> float
+
+val normalize : t -> unit
+
+val measure : Rng.t -> t -> int
+(** Sample a basis state from the output distribution (state unchanged). *)

@@ -1,0 +1,25 @@
+(** Circuit unitaries and equivalence checking.
+
+    Builds the full 2^n x 2^n matrix of a circuit through the state-vector
+    simulator (column k = the circuit applied to |k>), and compares operators
+    modulo global phase — the notion of equality under which all the
+    decomposition and optimization identities of this code base hold.
+    Exponential in qubits; meant for verification at n <= ~10. *)
+
+val of_circuit : Circuit.t -> Matrix.t
+(** The circuit's unitary in the computational basis (qubit 0 = least
+    significant bit). *)
+
+val of_gate : Gate.t -> int list -> n_qubits:int -> Matrix.t
+(** A single application embedded into the full register. *)
+
+val equal_up_to_phase : ?tol:float -> Matrix.t -> Matrix.t -> bool
+(** Operator equality modulo a global phase (default tolerance 1e-7). *)
+
+val global_phase_between : ?tol:float -> Matrix.t -> Matrix.t -> Complex.t option
+(** [Some p] with [a * p = b] entrywise and [|p| = 1], if such a phase
+    exists. *)
+
+val equivalent : ?tol:float -> Circuit.t -> Circuit.t -> bool
+(** Two circuits implement the same operator up to global phase.
+    @raise Invalid_argument on qubit-count mismatch. *)

@@ -1,0 +1,1 @@
+lib/smt/smt.ml: Array Float Fun List

@@ -1,0 +1,212 @@
+type sep = { i : int; j : int; offset : float }
+
+type t = {
+  n : int;
+  lo : float array;
+  hi : float array;
+  mutable seps : sep list;
+  mutable forbidden : (int * float) list;
+}
+
+let epsilon = 1e-9
+
+let create ?(lo = 0.0) ?(hi = 1.0) n =
+  if n < 0 then invalid_arg "Smt.create: negative variable count";
+  if lo > hi then invalid_arg "Smt.create: lo > hi";
+  { n; lo = Array.make n lo; hi = Array.make n hi; seps = []; forbidden = [] }
+
+let n_vars t = t.n
+
+let check_var t v =
+  if v < 0 || v >= t.n then invalid_arg "Smt: variable out of range"
+
+let set_bounds t v ~lo ~hi =
+  check_var t v;
+  if lo > hi then invalid_arg "Smt.set_bounds: lo > hi";
+  t.lo.(v) <- lo;
+  t.hi.(v) <- hi
+
+let add_separation ?(offset = 0.0) t i j =
+  check_var t i;
+  check_var t j;
+  if i = j && offset = 0.0 then
+    invalid_arg "Smt.add_separation: |x - x| >= delta is unsatisfiable";
+  t.seps <- { i; j; offset } :: t.seps
+
+let add_forbidden t v ~center =
+  check_var t v;
+  t.forbidden <- (v, center) :: t.forbidden;
+  t
+
+(* Open intervals that x_v must avoid, given currently placed values. *)
+let blocked_intervals t ~delta placed v =
+  let intervals = ref [] in
+  let avoid center = intervals := (center -. delta, center +. delta) :: !intervals in
+  List.iter
+    (fun { i; j; offset } ->
+      if i = v && j <> v then (
+        match placed.(j) with
+        | Some xj -> avoid (xj -. offset)
+        | None -> ())
+      else if j = v && i <> v then (
+        match placed.(i) with
+        | Some xi -> avoid (xi +. offset)
+        | None -> ()))
+    t.seps;
+  List.iter (fun (u, center) -> if u = v then avoid center) t.forbidden;
+  List.sort compare !intervals
+
+(* Self-sideband constraints |offset| >= delta do not depend on the values. *)
+let self_constraints_ok t ~delta =
+  List.for_all
+    (fun { i; j; offset } -> i <> j || Float.abs offset +. epsilon >= delta)
+    t.seps
+
+(* Smallest value >= start that avoids every interval; None if it escapes
+   [hi].  Blocked intervals are open, so landing exactly on an endpoint is
+   allowed. *)
+let resolve_upward intervals ~hi start =
+  let value = ref start in
+  let moved = ref true in
+  while !moved do
+    moved := false;
+    List.iter
+      (fun (a, b) ->
+        if !value > a +. epsilon && !value < b -. epsilon then begin
+          value := b;
+          moved := true
+        end)
+      intervals
+  done;
+  if !value <= hi +. epsilon then Some (Float.min !value hi) else None
+
+(* Candidate values for backtracking: the minimal feasible one plus the upper
+   endpoints of blocked intervals above it, each re-resolved against the
+   remaining intervals (any optimal solution can be normalised so every
+   variable sits at such a point). *)
+let candidates t ~delta placed v ~floor =
+  let intervals = blocked_intervals t ~delta placed v in
+  let hi = t.hi.(v) in
+  match resolve_upward intervals ~hi (Float.max floor t.lo.(v)) with
+  | None -> []
+  | Some least ->
+    let ends =
+      List.filter_map
+        (fun (_, b) ->
+          if b > least +. epsilon then resolve_upward intervals ~hi b else None)
+        intervals
+    in
+    least :: List.sort_uniq compare (List.filter (fun x -> x > least +. epsilon) ends)
+
+let solve_ordered t ~delta order =
+  let placed = Array.make t.n None in
+  let rec place remaining floor =
+    match remaining with
+    | [] -> true
+    | v :: rest ->
+      let try_value value =
+        placed.(v) <- Some value;
+        if place rest value then true
+        else begin
+          placed.(v) <- None;
+          false
+        end
+      in
+      List.exists try_value (candidates t ~delta placed v ~floor)
+  in
+  if place order neg_infinity then
+    Some (Array.map (function Some x -> x | None -> nan) placed)
+  else None
+
+let solve_any t ~delta =
+  let placed = Array.make t.n None in
+  let budget = ref 200_000 in
+  let rec place unplaced floor =
+    decr budget;
+    if !budget <= 0 then false
+    else
+      match unplaced with
+      | [] -> true
+      | _ ->
+        List.exists
+          (fun v ->
+            let rest = List.filter (fun u -> u <> v) unplaced in
+            let try_value value =
+              placed.(v) <- Some value;
+              if place rest value then true
+              else begin
+                placed.(v) <- None;
+                false
+              end
+            in
+            List.exists try_value (candidates t ~delta placed v ~floor))
+          unplaced
+  in
+  if place (List.init t.n Fun.id) neg_infinity then
+    Some (Array.map (function Some x -> x | None -> nan) placed)
+  else None
+
+let check t ~delta assignment =
+  Array.length assignment = t.n
+  && (let ok = ref (self_constraints_ok t ~delta) in
+      for v = 0 to t.n - 1 do
+        if assignment.(v) < t.lo.(v) -. epsilon || assignment.(v) > t.hi.(v) +. epsilon
+        then ok := false
+      done;
+      List.iter
+        (fun { i; j; offset } ->
+          if i <> j && Float.abs (assignment.(i) +. offset -. assignment.(j)) +. epsilon < delta
+          then ok := false)
+        t.seps;
+      List.iter
+        (fun (v, center) ->
+          if Float.abs (assignment.(v) -. center) +. epsilon < delta then ok := false)
+        t.forbidden;
+      !ok)
+
+let solve ?order t ~delta =
+  if not (self_constraints_ok t ~delta) then None
+  else
+    let result =
+      match order with
+      | Some order ->
+        if List.length order <> t.n then
+          invalid_arg "Smt.solve: order must list every variable exactly once";
+        solve_ordered t ~delta order
+      | None -> if t.n = 0 then Some [||] else solve_any t ~delta
+    in
+    match result with
+    | Some assignment ->
+      assert (check t ~delta assignment);
+      Some assignment
+    | None -> None
+
+let widest_range t =
+  let w = ref 0.0 in
+  for v = 0 to t.n - 1 do
+    w := Float.max !w (t.hi.(v) -. t.lo.(v))
+  done;
+  !w
+
+let find_max_delta ?order ?(tolerance = 1e-4) ?delta_hi t =
+  let delta_hi = match delta_hi with Some d -> d | None -> Float.max tolerance (widest_range t) in
+  match solve ?order t ~delta:0.0 with
+  | None -> None
+  | Some witness0 ->
+    let best = ref (0.0, witness0) in
+    let lo = ref 0.0 and hi = ref delta_hi in
+    (* Check the top first: if delta_hi itself is feasible we are done. *)
+    (match solve ?order t ~delta:delta_hi with
+    | Some w ->
+      best := (delta_hi, w);
+      lo := delta_hi
+    | None -> ());
+    while !hi -. !lo > tolerance do
+      let mid = (!lo +. !hi) /. 2.0 in
+      match solve ?order t ~delta:mid with
+      | Some w ->
+        best := (mid, w);
+        lo := mid
+      | None -> hi := mid
+    done;
+    Some !best

@@ -1,0 +1,58 @@
+(** Separation-constraint solver over bounded reals.
+
+    This module replaces the Z3 usage of the paper's reference implementation
+    (§V-B3).  The compiler's frequency-assignment subproblem is: given one
+    real variable per color, bounds [lo <= x_c <= hi] (eq. 1), and pairwise
+    constraints [|x_i + offset - x_j| >= delta] — offset 0 for the plain
+    separation of eq. 2 and offset = anharmonicity for the sideband
+    separation of eq. 3 — find a feasible assignment, and find the largest
+    [delta] for which one exists (the paper's [smt_find] binary search).
+
+    The number of variables equals the number of colors, which the
+    compilation pipeline keeps small (§VII-C), so a complete backtracking
+    search over value orderings is affordable and exact.  When the caller
+    supplies a total [order] (the paper orders colors by multiplicity so that
+    busier colors get higher frequencies), the search is restricted to
+    assignments respecting that order. *)
+
+type t
+(** A problem instance; mutable while constraints are added. *)
+
+val create : ?lo:float -> ?hi:float -> int -> t
+(** [create n] makes a problem with [n] variables, each bounded by the given
+    default range (defaults [0., 1.]).
+    @raise Invalid_argument if [n < 0] or [lo > hi]. *)
+
+val n_vars : t -> int
+
+val set_bounds : t -> int -> lo:float -> hi:float -> unit
+(** Override the bounds of one variable. *)
+
+val add_separation : ?offset:float -> t -> int -> int -> unit
+(** [add_separation ~offset t i j] records [|x_i + offset - x_j| >= delta]
+    (with [delta] supplied at solve time).  [i = j] with [offset <> 0.] is
+    allowed and constrains a variable against its own sideband; [i = j] with
+    [offset = 0.] is rejected as unsatisfiable for positive [delta]. *)
+
+val add_forbidden : t -> int -> center:float -> t
+(** [add_forbidden t i ~center] forbids [x_i] from the open interval
+    [(center - delta, center + delta)] — used to keep interaction frequencies
+    away from fixed parked neighbours.  Returns [t] for chaining. *)
+
+val solve : ?order:int list -> t -> delta:float -> float array option
+(** [solve t ~delta] finds a feasible assignment or [None].  With [order],
+    the assignment additionally satisfies
+    [x_order(0) <= x_order(1) <= ...]. *)
+
+val check : t -> delta:float -> float array -> bool
+(** Independent verifier: does the assignment satisfy bounds, separations and
+    forbidden zones at the given [delta]?  Used by tests and as an internal
+    sanity assertion. *)
+
+val find_max_delta :
+  ?order:int list -> ?tolerance:float -> ?delta_hi:float -> t ->
+  (float * float array) option
+(** Binary search for the maximum feasible [delta] (within [tolerance],
+    default [1e-4]); returns the witness assignment found at that [delta].
+    [None] when even [delta = 0] is infeasible.  [delta_hi] bounds the search
+    from above (defaults to the widest variable range). *)

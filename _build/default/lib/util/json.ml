@@ -1,0 +1,77 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"';
+  Buffer.contents buffer
+
+let float_repr f =
+  if Float.is_finite f then begin
+    (* ensure the token is a valid JSON number (needs . or e for floats) *)
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+    else s ^ ".0"
+  end
+  else escape (Printf.sprintf "%h" f)
+
+let to_string ?(pretty = true) value =
+  let buffer = Buffer.create 256 in
+  let newline depth =
+    if pretty then begin
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer (String.make (2 * depth) ' ')
+    end
+  in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buffer "null"
+    | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+    | Int i -> Buffer.add_string buffer (string_of_int i)
+    | Float f -> Buffer.add_string buffer (float_repr f)
+    | String s -> Buffer.add_string buffer (escape s)
+    | List [] -> Buffer.add_string buffer "[]"
+    | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buffer ',';
+          newline (depth + 1);
+          emit (depth + 1) item)
+        items;
+      newline depth;
+      Buffer.add_char buffer ']'
+    | Obj [] -> Buffer.add_string buffer "{}"
+    | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (key, item) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          newline (depth + 1);
+          Buffer.add_string buffer (escape key);
+          Buffer.add_string buffer (if pretty then ": " else ":");
+          emit (depth + 1) item)
+        fields;
+      newline depth;
+      Buffer.add_char buffer '}'
+  in
+  emit 0 value;
+  Buffer.contents buffer

@@ -1,0 +1,22 @@
+(** Minimal JSON emitter.
+
+    Just enough JSON to hand schedules, metrics and control waveforms to
+    external tooling (plotters, control stacks) without adding a dependency.
+    Writer only; strings are escaped per RFC 8259, floats printed with
+    round-trip precision, and non-finite floats encoded as strings (JSON has
+    no Infinity/NaN literals). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default true) indents with two spaces. *)
+
+val escape : string -> string
+(** The quoted, escaped form of a string (exposed for tests). *)

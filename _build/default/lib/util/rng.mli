@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    The paper's evaluation samples device parameters (maximum transmon
+    frequencies) from a Gaussian distribution and generates random benchmark
+    circuits (QAOA graphs, XEB single-qubit gates).  To make every experiment
+    reproducible we use an explicit-state splitmix64 generator rather than the
+    global [Random] module: every consumer receives a [t] and identical seeds
+    yield identical devices, circuits and results on any platform. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same future
+    stream as [t]. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  Streams of the
+    parent and child are independent for practical purposes; used to give each
+    subsystem (device, circuit, noise) its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : ?mean:float -> ?std:float -> t -> float
+(** Normal deviate via the Box–Muller transform. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [k] distinct elements of [xs] uniformly (reservoir
+    sampling); returns all of [xs] when [k >= List.length xs]. *)

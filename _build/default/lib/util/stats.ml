@@ -1,0 +1,58 @@
+let sum xs =
+  (* Kahan summation: success rates span many orders of magnitude. *)
+  let total = ref 0.0 and compensation = ref 0.0 in
+  List.iter
+    (fun x ->
+      let y = x -. !compensation in
+      let t = !total +. y in
+      compensation := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs =
+      List.map
+        (fun x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element"
+          else log x)
+        xs
+    in
+    exp (mean logs)
+
+let variance = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    mean (List.map (fun x -> (x -. m) ** 2.0) xs)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let w = rank -. float_of_int lo in
+      ((1.0 -. w) *. arr.(lo)) +. (w *. arr.(hi))
+
+let median xs = percentile 50.0 xs
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let product xs = List.fold_left ( *. ) 1.0 xs

@@ -1,0 +1,37 @@
+(** Descriptive statistics over float sequences.
+
+    Used throughout the benchmark harness to aggregate success rates, depths
+    and error terms — in particular the paper's headline aggregates: the
+    arithmetic-mean improvement over Baseline U (13.3x, §VII-A) and the
+    geometric-mean improvement across connectivities (3.97x, §VII-F). *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values, computed in log space for stability;
+    0 on the empty list.
+    @raise Invalid_argument if any element is non-positive. *)
+
+val variance : float list -> float
+(** Population variance; 0 on lists shorter than 2. *)
+
+val stddev : float list -> float
+(** Square root of {!variance}. *)
+
+val median : float list -> float
+(** Median; 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation between
+    order statistics; 0 on the empty list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.
+    @raise Invalid_argument on the empty list. *)
+
+val sum : float list -> float
+(** Kahan-compensated sum. *)
+
+val product : float list -> float
+(** Product of all elements; 1 on the empty list. *)

@@ -1,0 +1,77 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> (
+      match headers with
+      | [] -> []
+      | _ :: rest -> Left :: List.map (fun _ -> Right) rest)
+  in
+  { headers; aligns; rows = [] }
+
+let width t = List.length t.headers
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > width t then invalid_arg "Tablefmt.add_row: too many cells";
+  let padded = cells @ List.init (width t - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align w s =
+  let n = String.length s in
+  if n >= w then s
+  else
+    let fill = String.make (w - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let render_cells cells =
+    let padded =
+      List.mapi
+        (fun i c ->
+          let w = List.nth widths i in
+          let a = try List.nth t.aligns i with Failure _ -> Left in
+          " " ^ pad a w c ^ " ")
+        cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let body =
+    List.map (function Separator -> rule | Cells cells -> render_cells cells) rows
+  in
+  String.concat "\n" ((rule :: render_cells t.headers :: rule :: body) @ [ rule ])
+
+let print t = print_endline (render t)
+
+let cell_float ?(digits = 4) x = Printf.sprintf "%.*f" digits x
+
+let cell_sci ?(digits = 3) x = Printf.sprintf "%.*e" digits x
+
+let cell_int = string_of_int

@@ -1,0 +1,37 @@
+(** ASCII table rendering for the benchmark harness.
+
+    Every figure and table of the paper is regenerated as a textual series;
+    this module renders them with aligned columns so the bench output is
+    directly comparable with the paper's plots. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.  [aligns]
+    defaults to [Left] for the first column and [Right] for the rest (the
+    common label-then-numbers layout). *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render the table with a box-drawing frame. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?digits:int -> float -> string
+(** Fixed-point cell, default 4 digits. *)
+
+val cell_sci : ?digits:int -> float -> string
+(** Scientific-notation cell (e.g. [1.23e-05]), default 3 digits; the natural
+    format for log-scale success rates. *)
+
+val cell_int : int -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest QCheck QCheck_alcotest Unitary

@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Anneal_dynamic Array Baseline_gmon Circuit Compile Device Fastsc_benchmarks Fastsc_core Fastsc_device Float Gate Helpers Rng Schedule Topology

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Bv Circuit Fastsc_benchmarks Gate Graph Helpers Ising List QCheck Qaoa Qgan Rng Statevector Topology Xeb

@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Array Calibration Device Export Fastsc_core Fastsc_device Fastsc_physics Float Format Helpers List QCheck Result String Topology

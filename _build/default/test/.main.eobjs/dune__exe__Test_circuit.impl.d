@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Format Gate Helpers List QCheck String

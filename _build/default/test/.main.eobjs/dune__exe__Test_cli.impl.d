@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Circuit Filename Gate Helpers Printf Qasm String Sys

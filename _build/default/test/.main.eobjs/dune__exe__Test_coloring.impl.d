@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Array Coloring Graph Helpers List QCheck Rng Topology

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Baseline_naive Circuit Compile Control Device Fastsc_benchmarks Fastsc_core Fastsc_device Float Gate Helpers List Printf Result Schedule Topology

@@ -1,0 +1,1 @@
+test/test_crosstalk_graph.ml: Alcotest Coloring Crosstalk_graph Fastsc_core Graph Helpers Line_graph List Printf QCheck Topology

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Array Circuit Coupled_pair Decompose Format Gate Helpers List QCheck Rng

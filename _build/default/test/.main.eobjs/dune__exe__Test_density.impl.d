@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Array Density Float Gate Helpers List Matrix Noisy_sim QCheck Rng Statevector

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Device Fastsc_device Fastsc_graphlib Fastsc_physics Float Fun Gate Helpers List Partition QCheck Stats Topology

@@ -1,0 +1,1 @@
+test/test_draw.ml: Alcotest Circuit Draw Gate Helpers List QCheck String

@@ -1,0 +1,1 @@
+test/test_error_budget.ml: Alcotest Array Compile Device Error_budget Fastsc_benchmarks Fastsc_core Fastsc_device Fastsc_noise Format Helpers List Schedule String Topology

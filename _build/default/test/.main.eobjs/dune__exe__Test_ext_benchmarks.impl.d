@@ -1,0 +1,1 @@
+test/test_ext_benchmarks.ml: Alcotest Circuit Complex Complex_ext Fastsc_benchmarks Fastsc_core Fastsc_device Float Gate Ghz Helpers Layers List Matrix QCheck Qft Result Statevector Topology

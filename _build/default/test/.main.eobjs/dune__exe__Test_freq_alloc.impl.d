@@ -1,0 +1,1 @@
+test/test_freq_alloc.ml: Alcotest Array Coloring Device Fastsc_core Fastsc_device Float Freq_alloc Graph Helpers Partition QCheck Topology

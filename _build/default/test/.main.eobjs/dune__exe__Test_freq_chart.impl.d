@@ -1,0 +1,1 @@
+test/test_freq_chart.ml: Alcotest Circuit Compile Device Fastsc_core Fastsc_device Freq_chart Gate Helpers List Schedule String Topology

@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Complex Complex_ext Float Gate Helpers List Matrix QCheck

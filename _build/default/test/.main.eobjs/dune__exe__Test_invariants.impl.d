@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array Circuit Compile Control Device Export Fastsc_core Fastsc_device Float Fun Gate Helpers List Partition QCheck Result Rng Schedule String Topology Unitary

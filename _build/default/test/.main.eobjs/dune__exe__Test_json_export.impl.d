@@ -1,0 +1,1 @@
+test/test_json_export.ml: Alcotest Circuit Compile Device Export Fastsc_core Fastsc_device Float Gate Gen Helpers Json QCheck Schedule String Topology

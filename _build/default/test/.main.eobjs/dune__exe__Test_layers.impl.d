@@ -1,0 +1,1 @@
+test/test_layers.ml: Alcotest Array Circuit Fun Gate Helpers Layers List QCheck Rng

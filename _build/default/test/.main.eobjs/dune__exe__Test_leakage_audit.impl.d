@@ -1,0 +1,1 @@
+test/test_leakage_audit.ml: Alcotest Circuit Compile Device Fastsc_core Fastsc_device Gate Helpers Leakage_audit List Schedule Topology

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Complex_ext Eig Float Helpers Matrix QCheck Rng

@@ -1,0 +1,1 @@
+test/test_line_graph.ml: Alcotest Array Graph Helpers Line_graph List QCheck Topology

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Circuit Fastsc_core Fastsc_device Float Fun Gate Graph Helpers Lazy List Mapping QCheck Result Rng Statevector Topology

@@ -1,0 +1,1 @@
+test/test_multi_transmon.ml: Alcotest Array Complex Complex_ext Coupled_pair Evolution Fastsc_noise Helpers List Multi_transmon Printf Rng

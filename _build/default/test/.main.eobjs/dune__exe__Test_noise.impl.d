@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Crosstalk Decoherence Fastsc_noise Float Gen Helpers List QCheck Success

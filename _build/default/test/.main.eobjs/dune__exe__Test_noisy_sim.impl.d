@@ -1,0 +1,1 @@
+test/test_noisy_sim.ml: Alcotest Float Gate Helpers Matrix Noisy_sim Rng Statevector

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Circuit Decompose Float Gate Helpers Optimize QCheck Rng

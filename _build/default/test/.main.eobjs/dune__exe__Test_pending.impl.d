@@ -1,0 +1,1 @@
+test/test_pending.ml: Alcotest Array Circuit Fastsc_core Gate Helpers List Option Pending QCheck Rng

@@ -1,0 +1,1 @@
+test/test_physics.ml: Alcotest Complex Coupled_pair Evolution Float Helpers List Matrix QCheck Transmon

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Array Circuit Gate Helpers QCheck Qasm Rng String

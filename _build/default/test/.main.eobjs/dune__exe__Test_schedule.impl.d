@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Baseline_naive Circuit Device Fastsc_core Fastsc_device Fastsc_noise Float Format Gate Helpers List Noisy_sim Result Schedule Statevector String Topology

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Fastsc_smt Float Helpers QCheck

@@ -1,0 +1,1 @@
+test/test_statevector.ml: Alcotest Array Circuit Complex Complex_ext Float Gate Helpers QCheck Rng Statevector

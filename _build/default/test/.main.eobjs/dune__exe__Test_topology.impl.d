@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Coloring Graph Helpers List Paths QCheck Topology

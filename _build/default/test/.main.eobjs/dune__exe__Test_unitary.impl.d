@@ -1,0 +1,1 @@
+test/test_unitary.ml: Alcotest Circuit Complex_ext Decompose Gate Helpers Matrix QCheck Unitary

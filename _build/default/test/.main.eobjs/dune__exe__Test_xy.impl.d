@@ -1,0 +1,1 @@
+test/test_xy.ml: Alcotest Array Circuit Compile Device Fastsc_core Fastsc_device Fastsc_physics Float Gate Helpers List Matrix Optimize QCheck Qasm Schedule Statevector Topology Unitary

@@ -1,0 +1,19 @@
+(* Shared assertion helpers for the test suites. *)
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.check (Alcotest.float eps) name expected actual
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_true name actual = check_bool name true actual
+
+(* Re-exports of the library's own equivalence tooling (kept under the old
+   helper names so the suites read naturally). *)
+let equal_up_to_phase ?tol a b = Unitary.equal_up_to_phase ?tol a b
+
+let circuit_unitary = Unitary.of_circuit
+
+let qcheck_case ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

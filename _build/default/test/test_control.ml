@@ -1,0 +1,132 @@
+open Helpers
+open Fastsc_device
+open Fastsc_core
+
+let schedule () =
+  let device = Device.create ~seed:9 (Topology.grid 2 2) in
+  let circuit =
+    Circuit.of_gates 4
+      [ (Gate.H, [ 0 ]); (Gate.Iswap, [ 0; 1 ]); (Gate.Cz, [ 2; 3 ]); (Gate.H, [ 2 ]) ]
+  in
+  Baseline_naive.run device circuit
+
+let test_lower_shape () =
+  let s = schedule () in
+  let waveforms = Control.lower s in
+  check_int "one per qubit" 4 (Array.length waveforms);
+  Array.iter
+    (fun w ->
+      check_float ~eps:1e-6 "spans the schedule" (Schedule.total_time s) (Control.total_duration w))
+    waveforms
+
+let test_check_passes () =
+  let s = schedule () in
+  match Control.check s (Control.lower s) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_idle_qubit_is_flat () =
+  let device = Device.create ~seed:9 (Topology.grid 2 2) in
+  let circuit = Circuit.of_gates 4 [ (Gate.H, [ 0 ]); (Gate.H, [ 0 ]); (Gate.H, [ 0 ]) ] in
+  let s = Baseline_naive.run device circuit in
+  let waveforms = Control.lower s in
+  (* qubit 3 never moves: a single merged hold *)
+  check_int "single segment" 1 (List.length waveforms.(3));
+  check_float "no slew" 0.0 (Control.max_slew_rate waveforms.(3))
+
+let test_active_qubit_ramps () =
+  let s = schedule () in
+  let waveforms = Control.lower s in
+  (* qubit 1 joins an iSWAP: it must ramp at least twice (up and eventually
+     it stays — at least one ramp exists) *)
+  let ramps =
+    List.length
+      (List.filter (function Control.Ramp _ -> true | Control.Hold _ -> false) waveforms.(1))
+  in
+  check_true "has ramps" (ramps >= 1);
+  check_true "bounded slew" (Control.max_slew_rate waveforms.(1) < 0.5)
+
+let test_flux_at_continuity () =
+  let s = schedule () in
+  let waveforms = Control.lower s in
+  let w = waveforms.(0) in
+  (* sampling on a fine grid never jumps by more than slew * dt *)
+  let slew = Float.max (Control.max_slew_rate w) 1e-9 in
+  let dt = 0.25 in
+  let total = Control.total_duration w in
+  let t = ref 0.0 in
+  while !t +. dt <= total do
+    let a = Control.flux_at w !t and b = Control.flux_at w (!t +. dt) in
+    check_true "continuous" (Float.abs (b -. a) <= (slew *. dt) +. 1e-9);
+    t := !t +. dt
+  done
+
+let test_flux_at_clamps () =
+  let s = schedule () in
+  let w = (Control.lower s).(0) in
+  check_float ~eps:1e-12 "before start" (Control.flux_at w 0.0) (Control.flux_at w (-5.0));
+  check_float ~eps:1e-12 "after end" (Control.final_flux w)
+    (Control.flux_at w (Control.total_duration w +. 100.0))
+
+let test_check_detects_mismatch () =
+  let s = schedule () in
+  let waveforms = Control.lower s in
+  waveforms.(2) <- [ Control.Hold { flux = 0.1; duration = 1.0 } ];
+  check_true "bad duration rejected" (Result.is_error (Control.check s waveforms))
+
+let test_check_detects_discontinuity () =
+  let s = schedule () in
+  let waveforms = Control.lower s in
+  let total = Schedule.total_time s in
+  waveforms.(0) <-
+    [
+      Control.Hold { flux = 0.1; duration = total /. 2.0 };
+      Control.Hold { flux = 0.3; duration = total /. 2.0 };
+    ];
+  check_true "jump rejected" (Result.is_error (Control.check s waveforms))
+
+let test_matches_flux_profile () =
+  (* the waveform's per-step plateaus equal Schedule.flux_profile *)
+  let s = schedule () in
+  let waveforms = Control.lower s in
+  List.iteri
+    (fun _ _ -> ())
+    s.Schedule.steps;
+  let q = 1 in
+  let profile = Schedule.flux_profile s q in
+  (* sample each step just before its end: must sit on the plateau *)
+  let clock = ref 0.0 in
+  List.iteri
+    (fun i step ->
+      clock := !clock +. step.Schedule.duration;
+      let sampled = Control.flux_at waveforms.(q) (!clock -. 1e-6) in
+      check_float ~eps:1e-6
+        (Printf.sprintf "step %d plateau" i)
+        (List.nth profile i) sampled)
+    s.Schedule.steps
+
+let test_all_algorithms_lower () =
+  let device = Device.create ~seed:3 (Topology.grid 3 3) in
+  let circuit = Fastsc_benchmarks.Ising.circuit ~n:9 () in
+  List.iter
+    (fun algorithm ->
+      let s = Compile.run algorithm device circuit in
+      match Control.check s (Control.lower s) with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "%s: %s" (Compile.algorithm_to_string algorithm) msg)
+    Compile.extended_algorithms
+
+let suite =
+  [
+    Alcotest.test_case "lower shape" `Quick test_lower_shape;
+    Alcotest.test_case "check passes" `Quick test_check_passes;
+    Alcotest.test_case "idle qubit flat" `Quick test_idle_qubit_is_flat;
+    Alcotest.test_case "active qubit ramps" `Quick test_active_qubit_ramps;
+    Alcotest.test_case "flux_at continuity" `Quick test_flux_at_continuity;
+    Alcotest.test_case "flux_at clamps" `Quick test_flux_at_clamps;
+    Alcotest.test_case "check duration mismatch" `Quick test_check_detects_mismatch;
+    Alcotest.test_case "check discontinuity" `Quick test_check_detects_discontinuity;
+    Alcotest.test_case "matches flux profile" `Quick test_matches_flux_profile;
+    Alcotest.test_case "all algorithms lower" `Quick test_all_algorithms_lower;
+  ]

@@ -1,0 +1,134 @@
+open Helpers
+
+let test_initial_state () =
+  let rho = Density.create 2 in
+  check_float ~eps:1e-12 "trace" 1.0 (Density.trace rho);
+  check_float ~eps:1e-12 "pure" 1.0 (Density.purity rho);
+  check_float ~eps:1e-12 "in |00>" 1.0 (Density.population rho 0)
+
+let test_matches_statevector_on_unitaries () =
+  let rho = Density.create 3 in
+  let sv = Statevector.create 3 in
+  let gates = [ (Gate.H, [ 0 ]); (Gate.Cnot, [ 0; 1 ]); (Gate.T, [ 2 ]); (Gate.Iswap, [ 1; 2 ]) ] in
+  List.iter
+    (fun (g, qs) ->
+      Density.apply_gate rho g qs;
+      Statevector.apply sv g qs)
+    gates;
+  check_float ~eps:1e-9 "still pure" 1.0 (Density.purity rho);
+  check_float ~eps:1e-9 "fidelity with the statevector" 1.0 (Density.fidelity_pure rho sv);
+  (* populations agree *)
+  Array.iteri
+    (fun k p -> check_float ~eps:1e-9 "population" p (Density.population rho k))
+    (Statevector.probabilities sv)
+
+let test_of_statevector () =
+  let sv = Statevector.create 2 in
+  Statevector.apply sv Gate.H [ 0 ];
+  let rho = Density.of_statevector sv in
+  check_float ~eps:1e-12 "pure" 1.0 (Density.purity rho);
+  check_float ~eps:1e-12 "p0" 0.5 (Density.population rho 0)
+
+let test_amplitude_damping () =
+  let rho = Density.create 1 in
+  Density.apply_gate rho Gate.X [ 0 ];
+  (* |1> decays toward |0> *)
+  Density.apply_kraus1 rho (Density.amplitude_damping ~gamma:0.3) 0;
+  check_float ~eps:1e-12 "trace preserved" 1.0 (Density.trace rho);
+  check_float ~eps:1e-12 "decayed" 0.3 (Density.population rho 0);
+  check_float ~eps:1e-12 "remaining" 0.7 (Density.population rho 1)
+
+let test_phase_damping_kills_coherence () =
+  let rho = Density.create 1 in
+  Density.apply_gate rho Gate.H [ 0 ];
+  let before = Density.purity rho in
+  Density.apply_kraus1 rho (Density.phase_damping ~lambda:1.0) 0;
+  check_float ~eps:1e-12 "populations untouched" 0.5 (Density.population rho 0);
+  check_true "purity lost" (Density.purity rho < before -. 0.4);
+  check_float ~eps:1e-9 "maximally mixed" 0.5 (Density.purity rho)
+
+let test_thermal_relaxation_long_time () =
+  let rho = Density.create 1 in
+  Density.apply_gate rho Gate.X [ 0 ];
+  Density.thermal_relaxation rho ~q:0 ~t1:100.0 ~t2:80.0 ~time:100_000.0;
+  (* t >> T1: relaxed to the ground state *)
+  check_float ~eps:1e-6 "ground state" 1.0 (Density.population rho 0);
+  check_float ~eps:1e-6 "pure again" 1.0 (Density.purity rho)
+
+let test_kraus_completeness_checked () =
+  let rho = Density.create 1 in
+  let bad = [ Matrix.scale_re 0.5 (Matrix.identity 2) ] in
+  Alcotest.check_raises "incomplete"
+    (Invalid_argument "Density.apply_kraus1: Kraus operators do not sum to identity")
+    (fun () -> Density.apply_kraus1 rho bad 0)
+
+let test_agrees_with_trajectory_average () =
+  (* same lowered steps: the density matrix must match the trajectory
+     average within sampling error *)
+  let steps =
+    [
+      [ Noisy_sim.Unitary (Gate.H, [ 0 ]); Noisy_sim.Unitary (Gate.X, [ 1 ]) ];
+      [
+        Noisy_sim.Unitary (Gate.Cnot, [ 0; 1 ]);
+        Noisy_sim.Pauli_noise { q = 0; p_x = 0.05; p_y = 0.02; p_z = 0.08 };
+        Noisy_sim.Pauli_noise { q = 1; p_x = 0.03; p_y = 0.0; p_z = 0.1 };
+      ];
+      [ Noisy_sim.Partial_exchange { a = 0; b = 1; theta = 0.4 } ];
+    ]
+  in
+  let ideal = Noisy_sim.ideal_of_steps ~n_qubits:2 steps in
+  let exact = Density.fidelity_pure (Density.run_steps ~n_qubits:2 steps) ideal in
+  let sampled =
+    Noisy_sim.average_fidelity (Rng.create 11) ~n_qubits:2 ~ideal ~steps ~trials:4000
+  in
+  check_true "exact within sampling error of trajectories"
+    (Float.abs (exact -. sampled) < 0.03)
+
+let test_trace_preserved_through_everything () =
+  let steps =
+    [
+      [ Noisy_sim.Unitary (Gate.H, [ 0 ]) ];
+      [ Noisy_sim.Pauli_noise { q = 0; p_x = 0.2; p_y = 0.1; p_z = 0.15 } ];
+      [ Noisy_sim.Partial_exchange { a = 0; b = 1; theta = 1.0 } ];
+    ]
+  in
+  let rho = Density.run_steps ~n_qubits:2 steps in
+  check_float ~eps:1e-9 "trace" 1.0 (Density.trace rho)
+
+let test_unitary2_ordering_convention () =
+  (* CNOT with control = first operand, matching Statevector *)
+  let rho = Density.create 2 in
+  Density.apply_gate rho Gate.X [ 1 ];
+  Density.apply_gate rho Gate.Cnot [ 1; 0 ];
+  check_float ~eps:1e-12 "controlled flip" 1.0 (Density.population rho 3)
+
+let prop_purity_bounded =
+  qcheck_case ~count:40 "purity stays in [1/2^n, 1]" QCheck.(int_range 1 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let rho = Density.create 2 in
+      for _ = 1 to 6 do
+        match Rng.int rng 3 with
+        | 0 -> Density.apply_gate rho Gate.H [ Rng.int rng 2 ]
+        | 1 ->
+          Density.apply_kraus1 rho
+            (Density.amplitude_damping ~gamma:(Rng.float rng *. 0.5))
+            (Rng.int rng 2)
+        | _ -> Density.apply_gate rho Gate.Cz [ 0; 1 ]
+      done;
+      let p = Density.purity rho in
+      p <= 1.0 +. 1e-9 && p >= 0.25 -. 1e-9 && Float.abs (Density.trace rho -. 1.0) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "matches statevector" `Quick test_matches_statevector_on_unitaries;
+    Alcotest.test_case "of statevector" `Quick test_of_statevector;
+    Alcotest.test_case "amplitude damping" `Quick test_amplitude_damping;
+    Alcotest.test_case "phase damping" `Quick test_phase_damping_kills_coherence;
+    Alcotest.test_case "thermal relaxation" `Quick test_thermal_relaxation_long_time;
+    Alcotest.test_case "kraus completeness" `Quick test_kraus_completeness_checked;
+    Alcotest.test_case "agrees with trajectories" `Quick test_agrees_with_trajectory_average;
+    Alcotest.test_case "trace preserved" `Quick test_trace_preserved_through_everything;
+    Alcotest.test_case "operand convention" `Quick test_unitary2_ordering_convention;
+    prop_purity_bounded;
+  ]

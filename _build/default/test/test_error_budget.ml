@@ -1,0 +1,84 @@
+open Helpers
+open Fastsc_device
+open Fastsc_core
+
+let schedule () =
+  let device = Device.create ~seed:2020 (Topology.grid 3 3) in
+  let circuit = Fastsc_benchmarks.Ising.circuit ~n:9 () in
+  Compile.run Compile.Color_dynamic device circuit
+
+let test_structure () =
+  let s = schedule () in
+  let budget = Error_budget.compute s in
+  check_int "one budget per step" (Schedule.depth s) (List.length budget.Error_budget.steps);
+  check_int "one decoherence entry per qubit" 9
+    (Array.length budget.Error_budget.decoherence_per_qubit);
+  List.iteri
+    (fun i sb -> check_int "indices in order" i sb.Error_budget.index)
+    budget.Error_budget.steps
+
+let test_step_sums_consistent () =
+  (* folding per-step survival products reproduces the aggregate metrics *)
+  let s = schedule () in
+  let budget = Error_budget.compute s in
+  let product select =
+    List.fold_left (fun acc sb -> acc *. (1.0 -. select sb)) 1.0 budget.Error_budget.steps
+  in
+  check_float ~eps:1e-9 "gate error consistent"
+    budget.Error_budget.totals.Schedule.gate_error
+    (1.0 -. product (fun sb -> sb.Error_budget.gate_error));
+  check_float ~eps:1e-9 "crosstalk consistent"
+    budget.Error_budget.totals.Schedule.crosstalk_error
+    (1.0 -. product (fun sb -> sb.Error_budget.crosstalk_error));
+  let dec_product =
+    Array.fold_left (fun acc e -> acc *. (1.0 -. e)) 1.0
+      budget.Error_budget.decoherence_per_qubit
+  in
+  check_float ~eps:1e-9 "decoherence consistent"
+    budget.Error_budget.totals.Schedule.decoherence_error (1.0 -. dec_product)
+
+let test_hotspots_sorted () =
+  let budget = Error_budget.compute (schedule ()) in
+  let hot = Error_budget.hotspots ~limit:10 budget in
+  check_int "limited" 10 (List.length hot);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Error_budget.gate_error +. a.Error_budget.crosstalk_error
+      >= b.Error_budget.gate_error +. b.Error_budget.crosstalk_error -. 1e-12
+      && sorted rest
+    | _ -> true
+  in
+  check_true "descending" (sorted hot);
+  (* hotspots carry two-qubit gates, not bare 1q layers *)
+  match hot with
+  | worst :: _ -> check_true "worst step has a 2q gate" (worst.Error_budget.n_two_qubit >= 1)
+  | [] -> Alcotest.fail "no hotspots"
+
+let test_worst_qubit () =
+  let budget = Error_budget.compute (schedule ()) in
+  let q, e = Error_budget.worst_qubit budget in
+  check_true "in range" (q >= 0 && q < 9);
+  Array.iter (fun other -> check_true "maximal" (other <= e)) budget.Error_budget.decoherence_per_qubit
+
+let test_pp () =
+  let budget = Error_budget.compute (schedule ()) in
+  let text = Format.asprintf "%a" Error_budget.pp budget in
+  check_true "renders" (String.length text > 100)
+
+let test_decoherence_model_threaded () =
+  let s = schedule () in
+  let standard = Error_budget.compute s in
+  let combined = Error_budget.compute ~decoherence:Fastsc_noise.Decoherence.Combined s in
+  check_true "combined model is milder"
+    (combined.Error_budget.totals.Schedule.decoherence_error
+    < standard.Error_budget.totals.Schedule.decoherence_error)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "step sums consistent" `Quick test_step_sums_consistent;
+    Alcotest.test_case "hotspots sorted" `Quick test_hotspots_sorted;
+    Alcotest.test_case "worst qubit" `Quick test_worst_qubit;
+    Alcotest.test_case "pp" `Quick test_pp;
+    Alcotest.test_case "decoherence model" `Quick test_decoherence_model_threaded;
+  ]

@@ -1,0 +1,104 @@
+open Helpers
+open Fastsc_benchmarks
+
+let test_cp_gadget_unitary () =
+  (* CP(theta) = diag(1,1,1,e^{i theta}) up to global phase *)
+  let theta = 0.9 in
+  let gadget = Circuit.of_gates 2 (Qft.controlled_phase theta 1 0) in
+  let expected =
+    Matrix.of_arrays
+      [|
+        [| Complex.one; Complex.zero; Complex.zero; Complex.zero |];
+        [| Complex.zero; Complex.one; Complex.zero; Complex.zero |];
+        [| Complex.zero; Complex.zero; Complex.one; Complex.zero |];
+        [| Complex.zero; Complex.zero; Complex.zero; Complex_ext.exp_i theta |];
+      |]
+  in
+  check_true "cp gadget" (equal_up_to_phase (circuit_unitary gadget) expected)
+
+let test_qft_unitary () =
+  (* QFT matrix: entry (j,k) = omega^{jk} / sqrt(N) *)
+  let n = 3 in
+  let dim = 1 lsl n in
+  let expected =
+    Matrix.init dim dim (fun j k ->
+        Complex_ext.scale
+          (1.0 /. sqrt (float_of_int dim))
+          (Complex_ext.exp_i (2.0 *. Float.pi *. float_of_int (j * k) /. float_of_int dim)))
+  in
+  let c = Qft.circuit ~n () in
+  check_true "qft matrix" (equal_up_to_phase (circuit_unitary c) expected)
+
+let test_qft_without_reversal () =
+  let c = Qft.circuit ~reverse:false ~n:4 () in
+  check_int "no swaps" 0 (Circuit.count (fun g -> g = Gate.Swap) c)
+
+let test_qft_approximation_drops_gates () =
+  let exact = Qft.circuit ~n:6 () in
+  let approx = Qft.circuit ~approximation:2 ~n:6 () in
+  check_true "fewer gates" (Circuit.length approx < Circuit.length exact)
+
+let test_qft_validation () =
+  check_true "n=0 rejected"
+    (try
+       ignore (Qft.circuit ~n:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_ghz_chain_state () =
+  let c = Ghz.circuit ~n:4 () in
+  let sv = Statevector.of_circuit c in
+  List.iter
+    (fun (outcome, p) -> check_float ~eps:1e-12 "ghz outcome" p (Statevector.probability sv outcome))
+    (Ghz.expected_probabilities ~n:4);
+  check_float ~eps:1e-12 "nothing else" 0.0 (Statevector.probability sv 5)
+
+let test_ghz_fanout_state_and_depth () =
+  let chain = Ghz.circuit ~n:8 () in
+  let tree = Ghz.circuit ~fanout:true ~n:8 () in
+  (* same state *)
+  check_float ~eps:1e-12 "same state" 1.0
+    (Statevector.fidelity (Statevector.of_circuit chain) (Statevector.of_circuit tree));
+  (* logarithmic vs linear depth *)
+  check_true "tree shallower" (Layers.depth tree < Layers.depth chain);
+  check_int "tree depth" 4 (Layers.depth tree)
+
+let test_ghz_compiles_everywhere () =
+  let device = Fastsc_device.Device.create ~seed:5 (Topology.grid 3 3) in
+  List.iter
+    (fun algorithm ->
+      let s = Fastsc_core.Compile.run algorithm device (Ghz.circuit ~fanout:true ~n:9 ()) in
+      check_true "valid" (Result.is_ok (Fastsc_core.Schedule.check s)))
+    Fastsc_core.Compile.extended_algorithms
+
+let test_qft_compiles () =
+  let device = Fastsc_device.Device.create ~seed:5 (Topology.grid 3 3) in
+  let s = Fastsc_core.Compile.run Fastsc_core.Compile.Color_dynamic device (Qft.circuit ~n:6 ()) in
+  check_true "valid" (Result.is_ok (Fastsc_core.Schedule.check s))
+
+let prop_qft_sizes =
+  qcheck_case "qft gate count formula" QCheck.(int_range 1 8) (fun n ->
+      let c = Qft.circuit ~reverse:false ~n () in
+      (* n Hadamards + 5 gates per controlled phase, n(n-1)/2 phases *)
+      Circuit.length c = n + (5 * n * (n - 1) / 2))
+
+let prop_ghz_fanout_always_ghz =
+  qcheck_case "fanout ghz correct for all sizes" QCheck.(int_range 2 10) (fun n ->
+      let sv = Statevector.of_circuit (Ghz.circuit ~fanout:true ~n ()) in
+      Float.abs (Statevector.probability sv 0 -. 0.5) < 1e-9
+      && Float.abs (Statevector.probability sv ((1 lsl n) - 1) -. 0.5) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "cp gadget" `Quick test_cp_gadget_unitary;
+    Alcotest.test_case "qft unitary" `Quick test_qft_unitary;
+    Alcotest.test_case "qft without reversal" `Quick test_qft_without_reversal;
+    Alcotest.test_case "qft approximation" `Quick test_qft_approximation_drops_gates;
+    Alcotest.test_case "qft validation" `Quick test_qft_validation;
+    Alcotest.test_case "ghz chain state" `Quick test_ghz_chain_state;
+    Alcotest.test_case "ghz fanout" `Quick test_ghz_fanout_state_and_depth;
+    Alcotest.test_case "ghz compiles everywhere" `Quick test_ghz_compiles_everywhere;
+    Alcotest.test_case "qft compiles" `Quick test_qft_compiles;
+    prop_qft_sizes;
+    prop_ghz_fanout_always_ghz;
+  ]

@@ -1,0 +1,124 @@
+open Helpers
+open Fastsc_device
+open Fastsc_core
+
+let device () = Device.create ~seed:11 (Topology.grid 3 3)
+
+let test_idle_two_colors () =
+  let d = device () in
+  let coloring, assignment = Freq_alloc.idle d in
+  check_int "mesh is 2-colored" 2 (Coloring.n_colors coloring);
+  check_int "two idle frequencies" 2 (Array.length assignment.Freq_alloc.freqs);
+  check_true "separated" (assignment.Freq_alloc.delta > 0.05)
+
+let test_idle_in_parking_region () =
+  let d = device () in
+  let p = Device.partition d in
+  let _, assignment = Freq_alloc.idle d in
+  Array.iter
+    (fun f -> check_true "in parking region" (Partition.in_parking p f))
+    assignment.Freq_alloc.freqs
+
+let test_idle_respects_sidebands () =
+  let d = device () in
+  let alpha = (Device.params d).Device.anharmonicity in
+  let _, assignment = Freq_alloc.idle d in
+  let freqs = assignment.Freq_alloc.freqs in
+  let delta = assignment.Freq_alloc.delta in
+  Array.iteri
+    (fun i fi ->
+      Array.iteri
+        (fun j fj ->
+          if i <> j then begin
+            check_true "direct separation" (Float.abs (fi -. fj) +. 1e-6 >= delta);
+            check_true "sideband separation" (Float.abs (fi -. alpha -. fj) +. 1e-6 >= delta)
+          end)
+        freqs)
+    freqs
+
+let test_idle_per_qubit () =
+  let d = device () in
+  let per_qubit = Freq_alloc.idle_per_qubit d in
+  check_int "one per qubit" 9 (Array.length per_qubit);
+  (* neighbours on the mesh never share an idle frequency *)
+  Graph.iter_edges
+    (fun a b -> check_true "neighbours differ" (per_qubit.(a) <> per_qubit.(b)))
+    (Device.graph d)
+
+let test_interaction_ordering () =
+  let d = device () in
+  (* color 1 is busiest, then 0, then 2: frequencies must order accordingly *)
+  let assignment = Freq_alloc.interaction d ~n_colors:3 ~multiplicity:[| 2; 5; 1 |] in
+  let f = assignment.Freq_alloc.freqs in
+  check_true "busiest highest" (f.(1) >= f.(0) && f.(0) >= f.(2));
+  check_true "positive delta" (assignment.Freq_alloc.delta > 0.0)
+
+let test_interaction_in_region () =
+  let d = device () in
+  let p = Device.partition d in
+  let assignment = Freq_alloc.interaction d ~n_colors:4 ~multiplicity:[| 1; 1; 1; 1 |] in
+  Array.iter
+    (fun f -> check_true "in interaction region" (Partition.in_interaction p f))
+    assignment.Freq_alloc.freqs
+
+let test_interaction_zero_colors () =
+  let d = device () in
+  let assignment = Freq_alloc.interaction d ~n_colors:0 ~multiplicity:[||] in
+  check_int "empty" 0 (Array.length assignment.Freq_alloc.freqs)
+
+let test_interaction_size_mismatch () =
+  let d = device () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Freq_alloc.interaction: multiplicity size mismatch") (fun () ->
+      ignore (Freq_alloc.interaction d ~n_colors:2 ~multiplicity:[| 1 |]))
+
+let test_delta_shrinks_with_colors () =
+  let d = device () in
+  let delta n =
+    (Freq_alloc.interaction d ~n_colors:n ~multiplicity:(Array.make n 1)).Freq_alloc.delta
+  in
+  check_true "more colors, less separation" (delta 2 > delta 4 && delta 4 > delta 8)
+
+let test_custom_region_override () =
+  let d = device () in
+  let assignment =
+    Freq_alloc.interaction ~lo:6.5 ~hi:6.6 d ~n_colors:2 ~multiplicity:[| 1; 1 |]
+  in
+  Array.iter
+    (fun f -> check_true "in override window" (f >= 6.5 -. 1e-9 && f <= 6.6 +. 1e-9))
+    assignment.Freq_alloc.freqs
+
+let test_spread () =
+  let f = Freq_alloc.spread ~lo:5.0 ~hi:7.0 3 in
+  Alcotest.(check (array (float 1e-9))) "even" [| 5.0; 6.0; 7.0 |] f;
+  Alcotest.(check (array (float 1e-9))) "single centered" [| 6.0 |] (Freq_alloc.spread ~lo:5.0 ~hi:7.0 1);
+  check_int "empty" 0 (Array.length (Freq_alloc.spread ~lo:5.0 ~hi:7.0 0))
+
+let prop_interaction_separations_hold =
+  qcheck_case ~count:50 "all pairwise separations honored" QCheck.(int_range 1 6) (fun n ->
+      let d = device () in
+      let assignment = Freq_alloc.interaction d ~n_colors:n ~multiplicity:(Array.make n 1) in
+      let f = assignment.Freq_alloc.freqs and delta = assignment.Freq_alloc.delta in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Float.abs (f.(i) -. f.(j)) +. 1e-6 < delta then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "idle two colors" `Quick test_idle_two_colors;
+    Alcotest.test_case "idle in parking" `Quick test_idle_in_parking_region;
+    Alcotest.test_case "idle sidebands" `Quick test_idle_respects_sidebands;
+    Alcotest.test_case "idle per qubit" `Quick test_idle_per_qubit;
+    Alcotest.test_case "interaction ordering" `Quick test_interaction_ordering;
+    Alcotest.test_case "interaction in region" `Quick test_interaction_in_region;
+    Alcotest.test_case "interaction zero colors" `Quick test_interaction_zero_colors;
+    Alcotest.test_case "interaction size mismatch" `Quick test_interaction_size_mismatch;
+    Alcotest.test_case "delta shrinks with colors" `Quick test_delta_shrinks_with_colors;
+    Alcotest.test_case "custom region" `Quick test_custom_region_override;
+    Alcotest.test_case "spread" `Quick test_spread;
+    prop_interaction_separations_hold;
+  ]

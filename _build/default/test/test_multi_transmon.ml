@@ -1,0 +1,170 @@
+open Helpers
+
+let pair ?(omega_a = 6.0) ?(omega_b = 6.0) ?(g = 0.03) () =
+  {
+    Multi_transmon.freqs = [| omega_a; omega_b |];
+    alphas = [| -0.2; -0.2 |];
+    couplings = [ (0, 1, g) ];
+  }
+
+let test_indexing () =
+  let spec = pair () in
+  check_int "dimension" 9 (Multi_transmon.dimension spec);
+  check_int "index of |21>" (2 + (1 * 3)) (Multi_transmon.basis_index spec [| 2; 1 |]);
+  Alcotest.(check (array int)) "roundtrip" [| 2; 1 |]
+    (Multi_transmon.levels_of_index spec (Multi_transmon.basis_index spec [| 2; 1 |]))
+
+let test_validation () =
+  let bad = { (pair ()) with Multi_transmon.couplings = [ (0, 5, 0.1) ] } in
+  check_true "bad coupling"
+    (try
+       ignore (Multi_transmon.dimension bad);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hamiltonian_hermitian_action () =
+  (* <phi|H psi> = conj(<psi|H phi>) on random vectors *)
+  let spec = pair ~omega_a:6.1 () in
+  let rng = Rng.create 4 in
+  let random_state () =
+    Array.init 9 (fun _ -> Complex_ext.make (Rng.gaussian rng) (Rng.gaussian rng))
+  in
+  let phi = random_state () and psi = random_state () in
+  let dot a b =
+    Array.to_list (Array.mapi (fun i x -> Complex.mul (Complex.conj x) b.(i)) a)
+    |> List.fold_left Complex.add Complex.zero
+  in
+  let lhs = dot phi (Multi_transmon.apply_hamiltonian spec psi) in
+  let rhs = Complex.conj (dot psi (Multi_transmon.apply_hamiltonian spec phi)) in
+  check_true "hermitian" (Complex_ext.approx_equal ~tol:1e-9 lhs rhs)
+
+let test_matches_coupled_pair_resonant () =
+  (* RK4 at qutrit level vs exact eigen-evolution of Coupled_pair *)
+  let g = 0.03 in
+  let spec = pair ~g () in
+  let t_swap = Coupled_pair.iswap_time ~g in
+  let p =
+    Multi_transmon.transfer_probability spec ~from_levels:[| 0; 1 |] ~to_levels:[| 1; 0 |]
+      ~t:t_swap
+  in
+  check_float ~eps:1e-4 "full exchange" 1.0 p;
+  let p_half =
+    Multi_transmon.transfer_probability spec ~from_levels:[| 0; 1 |] ~to_levels:[| 1; 0 |]
+      ~t:(Coupled_pair.sqrt_iswap_time ~g)
+  in
+  check_float ~eps:1e-4 "half exchange" 0.5 p_half
+
+let test_matches_coupled_pair_detuned () =
+  let g = 0.03 and omega_a = 6.08 in
+  let spec = pair ~omega_a ~g () in
+  let h =
+    Coupled_pair.hamiltonian
+      { Coupled_pair.omega_a; omega_b = 6.0; alpha_a = -0.2; alpha_b = -0.2; g }
+  in
+  let idx = Coupled_pair.state_index ~levels:3 in
+  List.iter
+    (fun t ->
+      let exact = Evolution.transition_probability h ~src:(idx 0 1) ~dst:(idx 1 0) ~t in
+      (* Coupled_pair indexes |la lb>, Multi_transmon levels are [|a; b|] *)
+      let rk4 =
+        Multi_transmon.transfer_probability spec ~from_levels:[| 0; 1 |]
+          ~to_levels:[| 1; 0 |] ~t
+      in
+      check_float ~eps:1e-3 (Printf.sprintf "detuned t=%.0f" t) exact rk4)
+    [ 3.0; 8.0; 15.0 ]
+
+let test_cz_resonance_leakage_channel () =
+  (* |11> <-> |20> at the CZ resonance: qutrit physics invisible to qubits *)
+  let g = 0.03 in
+  let spec = pair ~omega_a:5.8 ~omega_b:6.0 ~g () in
+  (* omega_a + alpha_a = 5.6 ... CZ condition is omega_b = omega_a - alpha:
+     5.8 + (-0.2) gives |2 0> energy 2*5.8-0.2 = 11.4 vs |11| = 11.8: detuned.
+     use omega_a = 6.2: |20> = 2*6.2 - 0.2 = 12.2 = |11> = 6.2 + 6.0. *)
+  ignore spec;
+  let spec = pair ~omega_a:6.2 ~omega_b:6.0 ~g () in
+  let t_transfer = 1.0 /. (4.0 *. sqrt 2.0 *. g) in
+  let p =
+    Multi_transmon.transfer_probability spec ~from_levels:[| 1; 1 |] ~to_levels:[| 2; 0 |]
+      ~t:t_transfer
+  in
+  check_true "strong transfer into |20>" (p > 0.9);
+  (* and this is pure leakage *)
+  let psi =
+    Multi_transmon.evolve spec (Multi_transmon.basis_state spec [| 1; 1 |]) ~t:t_transfer
+  in
+  check_true "leakage detected" (Multi_transmon.leakage spec psi > 0.9)
+
+let test_three_transmon_spectator () =
+  (* chain a-b-c: gate pair (a,b) on resonance, spectator c detuned;
+     spectator pickup stays below the far-detuned envelope *)
+  let spec =
+    {
+      Multi_transmon.freqs = [| 6.5; 6.5; 5.2 |];
+      alphas = [| -0.2; -0.2; -0.2 |];
+      couplings = [ (0, 1, 0.03); (1, 2, 0.03) ];
+    }
+  in
+  let t_swap = Coupled_pair.iswap_time ~g:0.03 in
+  let psi =
+    Multi_transmon.evolve spec (Multi_transmon.basis_state spec [| 0; 1; 0 |]) ~t:t_swap
+  in
+  (* intended transfer still dominates *)
+  check_true "intended transfer"
+    (Multi_transmon.population psi (Multi_transmon.basis_index spec [| 1; 0; 0 |]) > 0.95);
+  (* spectator stays quiet *)
+  let spectator_excited =
+    Multi_transmon.subspace_population spec psi (fun levels -> levels.(2) > 0)
+  in
+  check_true "spectator below envelope"
+    (spectator_excited < Fastsc_noise.Crosstalk.transfer_envelope ~g:0.03 ~delta:1.3 +. 0.01)
+
+let test_resonant_spectator_steals () =
+  (* same chain but the spectator is parked ON the interaction frequency:
+     the microscopic origin of the paper's Fig 6 collision *)
+  let spec =
+    {
+      Multi_transmon.freqs = [| 6.5; 6.5; 6.5 |];
+      alphas = [| -0.2; -0.2; -0.2 |];
+      couplings = [ (0, 1, 0.03); (1, 2, 0.03) ];
+    }
+  in
+  let t_swap = Coupled_pair.iswap_time ~g:0.03 in
+  let psi =
+    Multi_transmon.evolve spec (Multi_transmon.basis_state spec [| 0; 1; 0 |]) ~t:t_swap
+  in
+  let stolen = Multi_transmon.subspace_population spec psi (fun levels -> levels.(2) > 0) in
+  check_true "resonant spectator steals population" (stolen > 0.2)
+
+let test_evolution_preserves_norm_and_excitation () =
+  let spec = pair ~omega_a:6.3 () in
+  let psi = Multi_transmon.evolve spec (Multi_transmon.basis_state spec [| 1; 1 |]) ~t:23.0 in
+  let norm = Array.fold_left (fun acc z -> acc +. Complex_ext.norm2 z) 0.0 psi in
+  check_float ~eps:1e-9 "normalized" 1.0 norm;
+  (* exchange conserves total excitation number: only N=2 states populated *)
+  let wrong_sector =
+    Multi_transmon.subspace_population spec psi (fun levels ->
+        levels.(0) + levels.(1) <> 2)
+  in
+  check_float ~eps:1e-6 "number conserved" 0.0 wrong_sector
+
+let test_dt_convergence () =
+  let spec = pair ~omega_a:6.05 () in
+  let p dt =
+    Multi_transmon.transfer_probability ~dt spec ~from_levels:[| 0; 1 |] ~to_levels:[| 1; 0 |]
+      ~t:10.0
+  in
+  check_float ~eps:1e-4 "halving dt agrees" (p 0.01) (p 0.005)
+
+let suite =
+  [
+    Alcotest.test_case "indexing" `Quick test_indexing;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "hermitian action" `Quick test_hamiltonian_hermitian_action;
+    Alcotest.test_case "matches exact resonant" `Quick test_matches_coupled_pair_resonant;
+    Alcotest.test_case "matches exact detuned" `Quick test_matches_coupled_pair_detuned;
+    Alcotest.test_case "cz leakage channel" `Quick test_cz_resonance_leakage_channel;
+    Alcotest.test_case "detuned spectator quiet" `Quick test_three_transmon_spectator;
+    Alcotest.test_case "resonant spectator steals" `Quick test_resonant_spectator_steals;
+    Alcotest.test_case "norm and number conserved" `Quick test_evolution_preserves_norm_and_excitation;
+    Alcotest.test_case "dt convergence" `Quick test_dt_convergence;
+  ]

@@ -1,0 +1,91 @@
+open Helpers
+
+let test_exchange_unitary_limits () =
+  let u0 = Noisy_sim.exchange_unitary 0.0 in
+  check_true "theta=0 is identity" (Matrix.approx_equal u0 (Matrix.identity 4));
+  let u_full = Noisy_sim.exchange_unitary (Float.pi /. 2.0) in
+  check_true "theta=pi/2 is iswap" (Matrix.approx_equal u_full (Gate.unitary Gate.Iswap));
+  check_true "always unitary" (Matrix.is_unitary (Noisy_sim.exchange_unitary 0.37))
+
+let test_noise_free_trajectory_matches_ideal () =
+  let steps =
+    [
+      [ Noisy_sim.Unitary (Gate.H, [ 0 ]) ];
+      [ Noisy_sim.Unitary (Gate.Cnot, [ 0; 1 ]) ];
+    ]
+  in
+  let rng = Rng.create 1 in
+  let final = Noisy_sim.run_trajectory rng ~n_qubits:2 steps in
+  let ideal = Noisy_sim.ideal_of_steps ~n_qubits:2 steps in
+  check_float ~eps:1e-12 "identical" 1.0 (Statevector.fidelity ideal final)
+
+let test_partial_exchange_leaks () =
+  (* |10> leaks into |01> with probability sin^2 theta *)
+  let theta = 0.3 in
+  let steps =
+    [
+      [ Noisy_sim.Unitary (Gate.X, [ 1 ]) ];
+      [ Noisy_sim.Partial_exchange { a = 1; b = 0; theta } ];
+    ]
+  in
+  let rng = Rng.create 2 in
+  let final = Noisy_sim.run_trajectory rng ~n_qubits:2 steps in
+  check_float ~eps:1e-9 "leak probability" (sin theta ** 2.0) (Statevector.probability final 1)
+
+let test_pauli_noise_statistics () =
+  (* X noise with p=0.3 on a |0> qubit flips it 30% of the time *)
+  let steps = [ [ Noisy_sim.Pauli_noise { q = 0; p_x = 0.3; p_y = 0.0; p_z = 0.0 } ] ] in
+  let rng = Rng.create 3 in
+  let flips = ref 0 in
+  let trials = 5000 in
+  for _ = 1 to trials do
+    let final = Noisy_sim.run_trajectory rng ~n_qubits:1 steps in
+    if Statevector.probability final 1 > 0.5 then incr flips
+  done;
+  let rate = float_of_int !flips /. float_of_int trials in
+  check_true "about 30%" (rate > 0.27 && rate < 0.33)
+
+let test_average_fidelity_degrades_with_noise () =
+  let mk p = [ [ Noisy_sim.Unitary (Gate.H, [ 0 ]) ];
+               [ Noisy_sim.Pauli_noise { q = 0; p_x = p; p_y = 0.0; p_z = p } ] ]
+  in
+  let ideal = Noisy_sim.ideal_of_steps ~n_qubits:1 (mk 0.0) in
+  let fid p =
+    Noisy_sim.average_fidelity (Rng.create 4) ~n_qubits:1 ~ideal ~steps:(mk p) ~trials:800
+  in
+  let clean = fid 0.0 and noisy = fid 0.2 and noisier = fid 0.4 in
+  check_float ~eps:1e-9 "no noise = 1" 1.0 clean;
+  check_true "fidelity decreases" (noisy > noisier && clean > noisy)
+
+let test_average_fidelity_validation () =
+  let ideal = Noisy_sim.ideal_of_steps ~n_qubits:1 [] in
+  Alcotest.check_raises "trials"
+    (Invalid_argument "Noisy_sim.average_fidelity: trials must be positive") (fun () ->
+      ignore (Noisy_sim.average_fidelity (Rng.create 1) ~n_qubits:1 ~ideal ~steps:[] ~trials:0))
+
+let test_crosstalk_error_matches_eq6 () =
+  (* the microscopic simulation reproduces the paper's eq 6 rate: a spectator
+     pair detuned by delta for time t suffers sin^2(2 pi g' t) leakage *)
+  let g0 = 0.03 and delta = 0.5 and t = 20.0 in
+  let g' = g0 *. g0 /. delta in
+  let theta = 2.0 *. Float.pi *. g' *. t in
+  let steps =
+    [
+      [ Noisy_sim.Unitary (Gate.X, [ 0 ]) ];
+      [ Noisy_sim.Partial_exchange { a = 1; b = 0; theta } ];
+    ]
+  in
+  let rng = Rng.create 5 in
+  let final = Noisy_sim.run_trajectory rng ~n_qubits:2 steps in
+  check_float ~eps:1e-9 "leak = sin^2(theta)" (sin theta ** 2.0) (Statevector.probability final 2)
+
+let suite =
+  [
+    Alcotest.test_case "exchange unitary limits" `Quick test_exchange_unitary_limits;
+    Alcotest.test_case "noise-free trajectory" `Quick test_noise_free_trajectory_matches_ideal;
+    Alcotest.test_case "partial exchange leaks" `Quick test_partial_exchange_leaks;
+    Alcotest.test_case "pauli noise statistics" `Quick test_pauli_noise_statistics;
+    Alcotest.test_case "fidelity degrades with noise" `Quick test_average_fidelity_degrades_with_noise;
+    Alcotest.test_case "fidelity validation" `Quick test_average_fidelity_validation;
+    Alcotest.test_case "crosstalk matches eq 6" `Quick test_crosstalk_error_matches_eq6;
+  ]

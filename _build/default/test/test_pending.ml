@@ -1,0 +1,104 @@
+open Helpers
+open Fastsc_core
+
+let sample () =
+  Circuit.of_gates 3
+    [
+      (Gate.H, [ 0 ]);
+      (Gate.Cz, [ 0; 1 ]);
+      (Gate.H, [ 2 ]);
+      (Gate.Cz, [ 1; 2 ]);
+      (Gate.H, [ 1 ]);
+    ]
+
+let test_initial_ready () =
+  let p = Pending.create (sample ()) in
+  let ready = Pending.ready p in
+  (* h0 and h2 are ready; cz(0,1) waits for h0, cz(1,2) for cz(0,1)... no:
+     cz(0,1) needs h0 done AND is first on qubit 1 -> blocked by h0 only *)
+  Alcotest.(check (list int)) "ready ids" [ 0; 2 ] (List.map (fun a -> a.Gate.id) ready)
+
+let test_criticality_ordering () =
+  let p = Pending.create (sample ()) in
+  match Pending.ready p with
+  | first :: _ ->
+    (* h0 heads the longest chain h0 -> cz01 -> cz12 -> h1 *)
+    check_int "deepest first" 0 first.Gate.id;
+    check_int "its criticality" 4 (Pending.criticality p first)
+  | [] -> Alcotest.fail "expected ready gates"
+
+let test_schedule_unblocks () =
+  let c = sample () in
+  let p = Pending.create c in
+  let instrs = Circuit.instructions c in
+  Pending.schedule p instrs.(0);
+  let ready_ids = List.map (fun a -> a.Gate.id) (Pending.ready p) in
+  check_true "cz01 now ready" (List.mem 1 ready_ids);
+  check_int "remaining" 4 (Pending.n_remaining p)
+
+let test_schedule_not_ready_rejected () =
+  let c = sample () in
+  let p = Pending.create c in
+  let instrs = Circuit.instructions c in
+  Alcotest.check_raises "dependency violation"
+    (Invalid_argument "Pending.schedule: gate 1 is not ready (dependency violation)")
+    (fun () -> Pending.schedule p instrs.(1))
+
+let test_drain_respects_dependencies () =
+  let c = sample () in
+  let p = Pending.create c in
+  let scheduled = ref [] in
+  while not (Pending.is_empty p) do
+    match Pending.ready p with
+    | [] -> Alcotest.fail "deadlock"
+    | app :: _ ->
+      Pending.schedule p app;
+      scheduled := app.Gate.id :: !scheduled
+  done;
+  let order = List.rev !scheduled in
+  check_int "all gates" 5 (List.length order);
+  (* per-qubit order is preserved *)
+  let position id = Option.get (List.find_index (fun x -> x = id) order) in
+  check_true "0 before 1" (position 0 < position 1);
+  check_true "1 before 3" (position 1 < position 3);
+  check_true "3 before 4" (position 3 < position 4)
+
+let test_empty_circuit () =
+  let p = Pending.create (Circuit.of_gates 2 []) in
+  check_true "immediately empty" (Pending.is_empty p);
+  check_int "nothing ready" 0 (List.length (Pending.ready p))
+
+let prop_drain_is_topological =
+  qcheck_case ~count:50 "greedy drain visits every gate exactly once" QCheck.(int_range 1 5000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let b = Circuit.builder 5 in
+      for _ = 1 to 20 do
+        if Rng.bool rng then Circuit.add b Gate.H [ Rng.int rng 5 ]
+        else begin
+          let a = Rng.int rng 5 in
+          Circuit.add b Gate.Cz [ a; (a + 1 + Rng.int rng 4) mod 5 ]
+        end
+      done;
+      let c = Circuit.finish b in
+      let p = Pending.create c in
+      let count = ref 0 in
+      while not (Pending.is_empty p) do
+        match Pending.ready p with
+        | [] -> failwith "deadlock"
+        | app :: _ ->
+          Pending.schedule p app;
+          incr count
+      done;
+      !count = Circuit.length c)
+
+let suite =
+  [
+    Alcotest.test_case "initial ready" `Quick test_initial_ready;
+    Alcotest.test_case "criticality ordering" `Quick test_criticality_ordering;
+    Alcotest.test_case "schedule unblocks" `Quick test_schedule_unblocks;
+    Alcotest.test_case "not ready rejected" `Quick test_schedule_not_ready_rejected;
+    Alcotest.test_case "drain respects dependencies" `Quick test_drain_respects_dependencies;
+    Alcotest.test_case "empty circuit" `Quick test_empty_circuit;
+    prop_drain_is_topological;
+  ]

@@ -1,0 +1,162 @@
+open Helpers
+open Fastsc_device
+open Fastsc_core
+
+let device () = Device.create ~seed:5 (Topology.grid 2 2)
+
+let native_circuit () =
+  (* already routed for the 2x2 grid: edges (0,1) (0,2) (1,3) (2,3) *)
+  Circuit.of_gates 4
+    [ (Gate.H, [ 0 ]); (Gate.Iswap, [ 0; 1 ]); (Gate.Cz, [ 2; 3 ]); (Gate.H, [ 3 ]) ]
+
+let schedule () = Baseline_naive.run (device ()) (native_circuit ())
+
+let test_accessors () =
+  let s = schedule () in
+  check_true "depth positive" (Schedule.depth s >= 2);
+  check_true "time positive" (Schedule.total_time s > 0.0);
+  check_int "gates" 4 (Schedule.n_gates s);
+  check_int "two-qubit" 2 (Schedule.n_two_qubit_gates s)
+
+let test_check_passes () =
+  match Schedule.check (schedule ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_check_detects_overlap () =
+  let s = schedule () in
+  let bad_step =
+    match s.Schedule.steps with
+    | step :: _ ->
+      { step with Schedule.gates = step.Schedule.gates @ step.Schedule.gates }
+    | [] -> Alcotest.fail "no steps"
+  in
+  let bad = { s with Schedule.steps = [ bad_step ] } in
+  check_true "overlap rejected" (Result.is_error (Schedule.check bad))
+
+let test_check_detects_bad_resonance () =
+  let s = schedule () in
+  let break_step step =
+    (* knock an interacting pair off resonance *)
+    match step.Schedule.interacting with
+    | (a, _) :: _ ->
+      let freqs = Array.copy step.Schedule.freqs in
+      freqs.(a) <- freqs.(a) +. 0.05;
+      Some { step with Schedule.freqs = freqs }
+    | [] -> None
+  in
+  let steps = List.filter_map break_step s.Schedule.steps in
+  if steps = [] then Alcotest.fail "expected an interacting step";
+  check_true "off resonance rejected"
+    (Result.is_error (Schedule.check { s with Schedule.steps = steps }))
+
+let test_check_detects_duration () =
+  let s = schedule () in
+  let steps =
+    List.map (fun step -> { step with Schedule.duration = 0.0 }) s.Schedule.steps
+  in
+  check_true "zero duration rejected" (Result.is_error (Schedule.check { s with Schedule.steps = steps }))
+
+let test_metrics_sane () =
+  let m = Schedule.evaluate (schedule ()) in
+  check_true "success in (0,1]" (m.Schedule.success > 0.0 && m.Schedule.success <= 1.0);
+  check_true "log10 matches" (Float.abs (m.Schedule.log10_success -. log10 m.Schedule.success) < 1e-6);
+  check_true "errors within [0,1]"
+    (m.Schedule.gate_error >= 0.0 && m.Schedule.crosstalk_error >= 0.0
+   && m.Schedule.decoherence_error >= 0.0);
+  check_int "depth consistent" (Schedule.depth (schedule ())) m.Schedule.depth
+
+let test_worst_case_bounds_timed () =
+  let s = schedule () in
+  let wc = Schedule.evaluate ~worst_case:true s in
+  let timed = Schedule.evaluate s in
+  check_true "worst-case success lower" (wc.Schedule.success <= timed.Schedule.success +. 1e-12)
+
+let test_distance2_adds_error () =
+  let s = schedule () in
+  let near = Schedule.evaluate ~crosstalk_distance:2 s in
+  let base = Schedule.evaluate ~crosstalk_distance:1 s in
+  check_true "parasitic terms reduce success" (near.Schedule.success <= base.Schedule.success +. 1e-12)
+
+let test_to_noisy_steps_structure () =
+  let s = schedule () in
+  let steps = Schedule.to_noisy_steps s in
+  check_int "one noisy step per schedule step" (Schedule.depth s) (List.length steps);
+  (* every step carries the pauli noise of each qubit *)
+  List.iter
+    (fun events ->
+      let paulis =
+        List.length
+          (List.filter (function Noisy_sim.Pauli_noise _ -> true | _ -> false) events)
+      in
+      check_int "pauli per qubit" 4 paulis)
+    steps
+
+let test_noisy_steps_ideal_matches_circuit () =
+  let s = schedule () in
+  let steps = Schedule.to_noisy_steps s in
+  let ideal = Noisy_sim.ideal_of_steps ~n_qubits:4 steps in
+  (* the unitary content equals the scheduled gates in order *)
+  let direct = Statevector.create 4 in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun app -> Statevector.apply direct app.Gate.gate (Array.to_list app.Gate.qubits))
+        step.Schedule.gates)
+    s.Schedule.steps;
+  check_float ~eps:1e-9 "same ideal state" 1.0 (Statevector.fidelity ideal direct)
+
+let test_flux_profile () =
+  let s = schedule () in
+  let profile = Schedule.flux_profile s 0 in
+  check_int "one value per step" (Schedule.depth s) (List.length profile);
+  List.iter (fun phi -> check_true "flux in [0, 1/2]" (phi >= 0.0 && phi <= 0.5)) profile
+
+let test_spare_qubits_cost_nothing () =
+  (* a 2-qubit program on a 2x2 device: qubits 2 and 3 never carry state and
+     must not be charged decoherence *)
+  let d = device () in
+  let tiny = Circuit.of_gates 4 [ (Gate.H, [ 0 ]); (Gate.Iswap, [ 0; 1 ]) ] in
+  let s = Baseline_naive.run d tiny in
+  Alcotest.(check (list int)) "used qubits" [ 0; 1 ] (Schedule.used_qubits s);
+  let m = Schedule.evaluate s in
+  (* manually: decoherence over only the two used qubits *)
+  let expected =
+    let t = Schedule.total_time s in
+    1.0
+    -. List.fold_left
+         (fun acc q ->
+           acc
+           *. (1.0
+              -. Fastsc_noise.Decoherence.error ~model:Fastsc_noise.Decoherence.Exponential
+                   ~t1:(Device.t1 d q)
+                   ~t2:(Device.t2 d q) ~t ()))
+         1.0 [ 0; 1 ]
+  in
+  check_float ~eps:1e-12 "only used qubits decohere" expected m.Schedule.decoherence_error
+
+let test_pp_smoke () =
+  let s = schedule () in
+  check_true "summary renders" (String.length (Format.asprintf "%a" Schedule.pp_summary s) > 0);
+  match s.Schedule.steps with
+  | step :: _ ->
+    check_true "step renders"
+      (String.length (Format.asprintf "%a" (Schedule.pp_step s.Schedule.device) step) > 0)
+  | [] -> ()
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "check passes" `Quick test_check_passes;
+    Alcotest.test_case "check detects overlap" `Quick test_check_detects_overlap;
+    Alcotest.test_case "check detects resonance break" `Quick test_check_detects_bad_resonance;
+    Alcotest.test_case "check detects duration" `Quick test_check_detects_duration;
+    Alcotest.test_case "metrics sane" `Quick test_metrics_sane;
+    Alcotest.test_case "worst case bounds" `Quick test_worst_case_bounds_timed;
+    Alcotest.test_case "distance 2 adds error" `Quick test_distance2_adds_error;
+    Alcotest.test_case "noisy steps structure" `Quick test_to_noisy_steps_structure;
+    Alcotest.test_case "noisy ideal matches" `Quick test_noisy_steps_ideal_matches_circuit;
+    Alcotest.test_case "flux profile" `Quick test_flux_profile;
+    Alcotest.test_case "spare qubits free" `Quick test_spare_qubits_cost_nothing;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

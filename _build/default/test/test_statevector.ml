@@ -1,0 +1,159 @@
+open Helpers
+
+let test_initial_state () =
+  let s = Statevector.create 3 in
+  check_float "amp |000> = 1" 1.0 (Statevector.probability s 0);
+  check_float "others zero" 0.0 (Statevector.probability s 5);
+  check_float "norm" 1.0 (Statevector.norm s)
+
+let test_x_flips () =
+  let s = Statevector.create 2 in
+  Statevector.apply s Gate.X [ 0 ];
+  check_float "now |01>" 1.0 (Statevector.probability s 1);
+  Statevector.apply s Gate.X [ 1 ];
+  check_float "now |11>" 1.0 (Statevector.probability s 3)
+
+let test_h_superposition () =
+  let s = Statevector.create 1 in
+  Statevector.apply s Gate.H [ 0 ];
+  check_float ~eps:1e-12 "p0" 0.5 (Statevector.probability s 0);
+  check_float ~eps:1e-12 "p1" 0.5 (Statevector.probability s 1)
+
+let test_bell_state () =
+  let s = Statevector.create 2 in
+  Statevector.apply s Gate.H [ 0 ];
+  Statevector.apply s Gate.Cnot [ 0; 1 ];
+  check_float ~eps:1e-12 "p(00)" 0.5 (Statevector.probability s 0);
+  check_float ~eps:1e-12 "p(11)" 0.5 (Statevector.probability s 3);
+  check_float ~eps:1e-12 "p(01)" 0.0 (Statevector.probability s 1)
+
+let test_cnot_control_msb_convention () =
+  (* Cnot [a; b]: a is the control *)
+  let s = Statevector.create 2 in
+  Statevector.apply s Gate.X [ 1 ];
+  (* |10> : qubit1 = 1 *)
+  Statevector.apply s Gate.Cnot [ 1; 0 ];
+  (* control qubit 1 set, so target flips: |11> *)
+  check_float "controlled flip" 1.0 (Statevector.probability s 3);
+  let s2 = Statevector.create 2 in
+  Statevector.apply s2 Gate.X [ 1 ];
+  Statevector.apply s2 Gate.Cnot [ 0; 1 ];
+  (* control qubit 0 clear: nothing happens *)
+  check_float "no flip" 1.0 (Statevector.probability s2 2)
+
+let test_iswap_action () =
+  let s = Statevector.create 2 in
+  Statevector.apply s Gate.X [ 0 ];
+  (* |01> *)
+  Statevector.apply s Gate.Iswap [ 1; 0 ];
+  (* paper convention: |01> -> -i |10> *)
+  check_float ~eps:1e-12 "moved" 1.0 (Statevector.probability s 2);
+  let amp = Statevector.amplitude s 2 in
+  check_true "-i phase" (Complex_ext.approx_equal amp (Complex_ext.make 0.0 (-1.0)))
+
+let test_swap_gate () =
+  let s = Statevector.create 3 in
+  Statevector.apply s Gate.X [ 0 ];
+  Statevector.apply s Gate.Swap [ 0; 2 ];
+  check_float "excitation moved to qubit 2" 1.0 (Statevector.probability s 4)
+
+let test_run_circuit_ghz () =
+  let c =
+    Circuit.of_gates 3 [ (Gate.H, [ 0 ]); (Gate.Cnot, [ 0; 1 ]); (Gate.Cnot, [ 1; 2 ]) ]
+  in
+  let s = Statevector.of_circuit c in
+  check_float ~eps:1e-12 "p(000)" 0.5 (Statevector.probability s 0);
+  check_float ~eps:1e-12 "p(111)" 0.5 (Statevector.probability s 7)
+
+let test_fidelity () =
+  let a = Statevector.create 2 in
+  let b = Statevector.create 2 in
+  check_float ~eps:1e-12 "identical" 1.0 (Statevector.fidelity a b);
+  Statevector.apply b Gate.X [ 0 ];
+  check_float ~eps:1e-12 "orthogonal" 0.0 (Statevector.fidelity a b);
+  let c = Statevector.create 2 in
+  Statevector.apply c Gate.H [ 0 ];
+  check_float ~eps:1e-12 "half overlap" 0.5 (Statevector.fidelity a c)
+
+let test_global_phase_invisible_in_fidelity () =
+  let a = Statevector.create 1 in
+  let b = Statevector.create 1 in
+  Statevector.apply b (Gate.Rz 1.3) [ 0 ];
+  (* Rz only adds phase on |0> component *)
+  check_float ~eps:1e-12 "phase invariant" 1.0 (Statevector.fidelity a b)
+
+let test_measure_distribution () =
+  let rng = Rng.create 99 in
+  let s = Statevector.create 1 in
+  Statevector.apply s Gate.H [ 0 ];
+  let ones = ref 0 in
+  for _ = 1 to 2000 do
+    if Statevector.measure rng s = 1 then incr ones
+  done;
+  check_true "roughly balanced" (!ones > 850 && !ones < 1150)
+
+let test_of_amplitudes_validation () =
+  Alcotest.check_raises "not power of two"
+    (Invalid_argument "Statevector.of_amplitudes: length must be a power of two") (fun () ->
+      ignore (Statevector.of_amplitudes (Array.make 3 Complex.zero)))
+
+let test_apply_validation () =
+  let s = Statevector.create 2 in
+  Alcotest.check_raises "duplicate qubits"
+    (Invalid_argument "Statevector.apply_matrix2: duplicate qubit") (fun () ->
+      Statevector.apply s Gate.Cz [ 1; 1 ])
+
+let test_matrix_apply_matches_gate () =
+  let s1 = Statevector.create 3 in
+  let s2 = Statevector.create 3 in
+  Statevector.apply s1 Gate.H [ 1 ];
+  Statevector.apply_matrix1 s2 (Gate.unitary Gate.H) 1;
+  check_float ~eps:1e-12 "same state" 1.0 (Statevector.fidelity s1 s2)
+
+let prop_unitarity_preserves_norm =
+  qcheck_case "norm preserved by random circuits" QCheck.(int_range 1 2000) (fun seed ->
+      let rng = Rng.create seed in
+      let s = Statevector.create 4 in
+      for _ = 1 to 12 do
+        match Rng.int rng 5 with
+        | 0 -> Statevector.apply s Gate.H [ Rng.int rng 4 ]
+        | 1 -> Statevector.apply s (Gate.Rx (Rng.float rng)) [ Rng.int rng 4 ]
+        | 2 -> Statevector.apply s Gate.T [ Rng.int rng 4 ]
+        | 3 ->
+          let a = Rng.int rng 4 in
+          Statevector.apply s Gate.Cz [ a; (a + 1 + Rng.int rng 3) mod 4 ]
+        | _ ->
+          let a = Rng.int rng 4 in
+          Statevector.apply s Gate.Iswap [ a; (a + 1 + Rng.int rng 3) mod 4 ]
+      done;
+      Float.abs (Statevector.norm s -. 1.0) < 1e-9)
+
+let prop_probabilities_sum_to_one =
+  qcheck_case "probabilities sum to 1" QCheck.(int_range 1 2000) (fun seed ->
+      let rng = Rng.create seed in
+      let s = Statevector.create 3 in
+      for _ = 1 to 8 do
+        Statevector.apply s (Gate.Ry (Rng.float rng *. 6.28)) [ Rng.int rng 3 ]
+      done;
+      let total = Array.fold_left ( +. ) 0.0 (Statevector.probabilities s) in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "x flips" `Quick test_x_flips;
+    Alcotest.test_case "h superposition" `Quick test_h_superposition;
+    Alcotest.test_case "bell state" `Quick test_bell_state;
+    Alcotest.test_case "cnot convention" `Quick test_cnot_control_msb_convention;
+    Alcotest.test_case "iswap action" `Quick test_iswap_action;
+    Alcotest.test_case "swap gate" `Quick test_swap_gate;
+    Alcotest.test_case "ghz circuit" `Quick test_run_circuit_ghz;
+    Alcotest.test_case "fidelity" `Quick test_fidelity;
+    Alcotest.test_case "phase invariance" `Quick test_global_phase_invisible_in_fidelity;
+    Alcotest.test_case "measure distribution" `Quick test_measure_distribution;
+    Alcotest.test_case "of_amplitudes validation" `Quick test_of_amplitudes_validation;
+    Alcotest.test_case "apply validation" `Quick test_apply_validation;
+    Alcotest.test_case "matrix apply" `Quick test_matrix_apply_matches_gate;
+    prop_unitarity_preserves_norm;
+    prop_probabilities_sum_to_one;
+  ]

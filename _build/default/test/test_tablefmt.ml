@@ -1,0 +1,50 @@
+open Helpers
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_basic_render () =
+  let t = Tablefmt.create [ "name"; "value" ] in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b"; "22" ];
+  let out = Tablefmt.render t in
+  let lines = String.split_on_char '\n' out in
+  check_int "line count" 6 (List.length lines);
+  (* all lines equal width *)
+  let widths = List.map String.length lines in
+  check_true "aligned" (List.for_all (fun w -> w = List.hd widths) widths);
+  check_true "contains header" (contains out "name")
+
+let test_short_row_padded () =
+  let t = Tablefmt.create [ "a"; "b"; "c" ] in
+  Tablefmt.add_row t [ "x" ];
+  check_true "renders" (String.length (Tablefmt.render t) > 0)
+
+let test_long_row_rejected () =
+  let t = Tablefmt.create [ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Tablefmt.add_row: too many cells")
+    (fun () -> Tablefmt.add_row t [ "1"; "2" ])
+
+let test_separator () =
+  let t = Tablefmt.create [ "a" ] in
+  Tablefmt.add_row t [ "1" ];
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Tablefmt.render t) in
+  check_int "extra rule line" 7 (List.length lines)
+
+let test_cells () =
+  check_true "float" (Tablefmt.cell_float ~digits:2 3.14159 = "3.14");
+  check_true "sci" (Tablefmt.cell_sci ~digits:2 0.000123 = "1.23e-04");
+  check_true "int" (Tablefmt.cell_int 42 = "42")
+
+let suite =
+  [
+    Alcotest.test_case "basic render" `Quick test_basic_render;
+    Alcotest.test_case "short row padded" `Quick test_short_row_padded;
+    Alcotest.test_case "long row rejected" `Quick test_long_row_rejected;
+    Alcotest.test_case "separator" `Quick test_separator;
+    Alcotest.test_case "cells" `Quick test_cells;
+  ]
