@@ -63,9 +63,74 @@ let compile_and_evaluate ?(options = Compile.default_options) ~algorithm device 
          (Compile.algorithm_to_string algorithm) bench.label msg));
   Schedule.evaluate ~crosstalk_distance:options.Compile.crosstalk_distance schedule
 
+(* The multicore sweep engine.  Every driver follows the same shape: describe
+   the figure/table as a grid of independent cells, evaluate the cells across
+   the domain pool, then print serially from the in-order result list.  The
+   printing phase never runs concurrently with cell evaluation, and results
+   come back in input order, so stdout is byte-identical at any job count
+   (the determinism contract in docs/MANUAL.md §9). *)
+
+let grid ?jobs f cells = Pool.map ?jobs f cells
+
+let grid_i ?jobs f cells = Pool.mapi ?jobs f cells
+
+(* Slice a flat in-order cell list back into rows of [width] (the inverse of
+   fanning a (row x column) table out one cell at a time). *)
+let rows_of ~width cells =
+  if width < 1 then invalid_arg "Exp_common.rows_of: width must be >= 1";
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> invalid_arg "Exp_common.rows_of: ragged cell list"
+    | cell :: rest -> take (k - 1) (cell :: acc) rest
+  in
+  let rec go = function
+    | [] -> []
+    | cells ->
+      let row, rest = take width [] cells in
+      row :: go rest
+  in
+  go cells
+
+(* The common (benchmark x algorithm) fan-out of Figs 9/10: one pool cell per
+   pair — rather than per benchmark — so the grid saturates the pool even
+   when one column (e.g. Baseline U on the deep 16-qubit circuits) dominates.
+   Each cell re-fabricates its device from the cell's own seed, which is what
+   makes cells independent: nothing is shared, and the fabrication RNG is
+   deterministic per seed. *)
+let compile_and_evaluate_grid ?jobs ?options ?(device_of = fun bench -> mesh_device bench.n)
+    ~algorithms benches =
+  let cells =
+    List.concat_map (fun bench -> List.map (fun algorithm -> (bench, algorithm)) algorithms) benches
+  in
+  let metrics =
+    grid ?jobs
+      (fun (bench, algorithm) ->
+        compile_and_evaluate ?options ~algorithm (device_of bench) bench)
+      cells
+  in
+  (* regroup the flat in-order cell list into per-benchmark rows *)
+  let rec rows benches metrics =
+    match benches with
+    | [] -> []
+    | bench :: rest ->
+      let this, remaining =
+        List.fold_left
+          (fun (acc, ms) algorithm ->
+            match ms with
+            | m :: tl -> ((algorithm, m) :: acc, tl)
+            | [] -> invalid_arg "compile_and_evaluate_grid: cell count mismatch")
+          ([], metrics) algorithms
+      in
+      (bench, List.rev this) :: rows rest remaining
+  in
+  rows benches metrics
+
 let log_cell value =
   if value = neg_infinity then "-inf" else Tablefmt.cell_float ~digits:2 value
 
+(* The parallelism note goes to stderr: stdout is the determinism surface
+   (byte-identical at any job count), the chosen job count is not. *)
 let heading title =
   let rule = String.make (String.length title) '=' in
+  Printf.eprintf "[%s: jobs=%d]\n%!" title (Pool.default_jobs ());
   Printf.printf "\n%s\n%s\n" title rule

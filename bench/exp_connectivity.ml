@@ -34,38 +34,47 @@ let fig13 () =
   in
   let ratios = ref [] in
   let shallow_ratios = ref [] in
+  (* one pool cell per (topology, benchmark); ratios and rows are accumulated
+     serially afterwards, in grid order, so the output is order-stable *)
+  let cells =
+    List.concat_map
+      (fun topology -> List.mapi (fun i name -> (topology, i, name)) benches)
+      (topologies n)
+  in
+  let results =
+    Exp_common.grid
+      (fun (topology, i, name) ->
+        let device = Exp_common.device_of_topology topology in
+        let bench = Exp_common.benchmark name n in
+        let circuit = bench.Exp_common.make device in
+        let (schedule, stats), elapsed =
+          time_of (fun () -> Compile.run_with_stats device circuit)
+        in
+        let cd = Schedule.evaluate schedule in
+        let u = Exp_common.compile_and_evaluate ~algorithm:Compile.Uniform device bench in
+        (topology, i, bench, stats, elapsed, u, cd))
+      cells
+  in
   List.iter
-    (fun topology ->
-      let device = Exp_common.device_of_topology topology in
-      let couplings = Graph.n_edges topology.Topology.graph in
-      List.iteri
-        (fun i name ->
-          let bench = Exp_common.benchmark name n in
-          let circuit = bench.Exp_common.make device in
-          let (schedule, stats), elapsed =
-            time_of (fun () -> Compile.run_with_stats device circuit)
-          in
-          let cd = Schedule.evaluate schedule in
-          let u = Exp_common.compile_and_evaluate ~algorithm:Compile.Uniform device bench in
-          if u.Schedule.success > 0.0 && cd.Schedule.success > 0.0 then begin
-            let ratio = cd.Schedule.success /. u.Schedule.success in
-            ratios := ratio :: !ratios;
-            (* the paper's statistics exclude programs below 1e-4 success *)
-            if cd.Schedule.success >= 1e-4 then shallow_ratios := ratio :: !shallow_ratios
-          end;
-          Tablefmt.add_row t
-            [
-              (if i = 0 then topology.Topology.name else "");
-              (if i = 0 then Tablefmt.cell_int couplings else "");
-              bench.Exp_common.label;
-              Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
-              Tablefmt.cell_float ~digits:3 elapsed;
-              Exp_common.log_cell u.Schedule.log10_success;
-              Exp_common.log_cell cd.Schedule.log10_success;
-            ])
-        benches;
-      Tablefmt.add_separator t)
-    (topologies n);
+    (fun (topology, i, bench, stats, elapsed, u, cd) ->
+      if u.Schedule.success > 0.0 && cd.Schedule.success > 0.0 then begin
+        let ratio = cd.Schedule.success /. u.Schedule.success in
+        ratios := ratio :: !ratios;
+        (* the paper's statistics exclude programs below 1e-4 success *)
+        if cd.Schedule.success >= 1e-4 then shallow_ratios := ratio :: !shallow_ratios
+      end;
+      Tablefmt.add_row t
+        [
+          (if i = 0 then topology.Topology.name else "");
+          (if i = 0 then Tablefmt.cell_int (Graph.n_edges topology.Topology.graph) else "");
+          bench.Exp_common.label;
+          Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
+          Tablefmt.cell_float ~digits:3 elapsed;
+          Exp_common.log_cell u.Schedule.log10_success;
+          Exp_common.log_cell cd.Schedule.log10_success;
+        ];
+      if i = List.length benches - 1 then Tablefmt.add_separator t)
+    results;
   Tablefmt.print t;
   Printf.printf
     "ColorDynamic vs Baseline U across all connectivities: geomean improvement %.2fx\n\
@@ -78,19 +87,21 @@ let fig13 () =
 let scalability () =
   Exp_common.heading "Scalability: ColorDynamic compilation time vs system size (§VII-C)";
   let t = Tablefmt.create [ "qubits"; "xeb gates"; "compile time (s)"; "max colors" ] in
-  List.iter
-    (fun side ->
-      let n = side * side in
-      let device = Exp_common.mesh_device n in
-      let circuit = Exp_common.xeb_for_device device in
-      let (_, stats), elapsed = time_of (fun () -> Compile.run_with_stats device circuit) in
-      Tablefmt.add_row t
+  let rows =
+    Exp_common.grid
+      (fun side ->
+        let n = side * side in
+        let device = Exp_common.mesh_device n in
+        let circuit = Exp_common.xeb_for_device device in
+        let (_, stats), elapsed = time_of (fun () -> Compile.run_with_stats device circuit) in
         [
           Tablefmt.cell_int n;
           Tablefmt.cell_int (Circuit.length circuit);
           Tablefmt.cell_float ~digits:3 elapsed;
           Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
         ])
-    [ 2; 3; 4; 5; 6; 7; 8; 9 ];
+      [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  List.iter (Tablefmt.add_row t) rows;
   Tablefmt.print t;
   Printf.printf "(paper: < 30 s at 81 qubits on XEB; shape to check is the gentle growth)\n"

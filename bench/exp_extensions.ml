@@ -18,17 +18,24 @@ let extra_benchmarks () =
     ]
   in
   let t = Tablefmt.create ("benchmark" :: column_labels) in
-  List.iter
-    (fun (label, device_size, make) ->
-      let device = Exp_common.mesh_device device_size in
-      Tablefmt.add_row t
-        (label
-        :: List.map
-             (fun algorithm ->
-               let schedule = Compile.run algorithm device (make ()) in
-               Exp_common.log_cell (Schedule.evaluate schedule).Schedule.log10_success)
-             algorithms))
-    cases;
+  let cells =
+    List.concat_map
+      (fun (label, device_size, make) ->
+        List.map (fun algorithm -> (label, device_size, make, algorithm)) algorithms)
+      cases
+  in
+  let metrics =
+    Exp_common.grid
+      (fun (_, device_size, make, algorithm) ->
+        let device = Exp_common.mesh_device device_size in
+        let schedule = Compile.run algorithm device (make ()) in
+        Exp_common.log_cell (Schedule.evaluate schedule).Schedule.log10_success)
+      cells
+  in
+  List.iter2
+    (fun (label, _, _) row -> Tablefmt.add_row t (label :: row))
+    cases
+    (Exp_common.rows_of ~width:(List.length algorithms) metrics);
   Tablefmt.print t;
   Printf.printf
     "(aqft3 = approximate QFT truncated at pi/8 rotations — the standard\n\
@@ -45,34 +52,43 @@ let machine_lattices () =
         "lattice"; "qubits"; "couplings"; "benchmark"; "U log10"; "CD log10"; "CD colors";
       ]
   in
+  let kinds = [ "ghz"; "ising"; "xeb" ] in
+  let cells =
+    List.concat_map
+      (fun topology -> List.mapi (fun i kind -> (topology, i, kind)) kinds)
+      lattices
+  in
+  let results =
+    Exp_common.grid
+      (fun (topology, i, kind) ->
+        let device = Exp_common.device_of_topology topology in
+        let n = Device.n_qubits device in
+        let circuit =
+          match kind with
+          | "ghz" -> Ghz.circuit ~fanout:true ~n ()
+          | "ising" -> Ising.circuit ~n ()
+          | _ -> Exp_common.xeb_for_device device
+        in
+        let u = Schedule.evaluate (Compile.run Compile.Uniform device circuit) in
+        let schedule, stats = Compile.run_with_stats device circuit in
+        let cd = Schedule.evaluate schedule in
+        (topology, i, kind, n, Graph.n_edges (Device.graph device), u, cd, stats))
+      cells
+  in
   List.iter
-    (fun topology ->
-      let device = Exp_common.device_of_topology topology in
-      let n = Device.n_qubits device in
-      List.iteri
-        (fun i (label, circuit) ->
-          let u =
-            Schedule.evaluate (Compile.run Compile.Uniform device circuit)
-          in
-          let schedule, stats = Compile.run_with_stats device circuit in
-          let cd = Schedule.evaluate schedule in
-          Tablefmt.add_row t
-            [
-              (if i = 0 then topology.Topology.name else "");
-              (if i = 0 then Tablefmt.cell_int n else "");
-              (if i = 0 then Tablefmt.cell_int (Graph.n_edges (Device.graph device)) else "");
-              label;
-              Exp_common.log_cell u.Schedule.log10_success;
-              Exp_common.log_cell cd.Schedule.log10_success;
-              Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
-            ])
+    (fun (topology, i, kind, n, couplings, u, cd, stats) ->
+      Tablefmt.add_row t
         [
-          ("ghz", Ghz.circuit ~fanout:true ~n ());
-          ("ising", Ising.circuit ~n ());
-          ("xeb", Exp_common.xeb_for_device device);
+          (if i = 0 then topology.Topology.name else "");
+          (if i = 0 then Tablefmt.cell_int n else "");
+          (if i = 0 then Tablefmt.cell_int couplings else "");
+          kind;
+          Exp_common.log_cell u.Schedule.log10_success;
+          Exp_common.log_cell cd.Schedule.log10_success;
+          Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
         ];
-      Tablefmt.add_separator t)
-    lattices;
+      if i = List.length kinds - 1 then Tablefmt.add_separator t)
+    results;
   Tablefmt.print t;
   Printf.printf
     "(heavy-hex and octagonal lattices are sparser than the mesh: fewer\n\
@@ -89,31 +105,41 @@ let pulse_lowering () =
       ]
   in
   let device = Exp_common.mesh_device 9 in
-  List.iter
-    (fun (label, circuit) ->
-      List.iter
-        (fun algorithm ->
-          let schedule = Compile.run algorithm device circuit in
-          let waveforms = Control.lower schedule in
-          let max_segments =
-            Array.fold_left (fun acc w -> max acc (List.length w)) 0 waveforms
-          in
-          let max_slew =
-            Array.fold_left (fun acc w -> Float.max acc (Control.max_slew_rate w)) 0.0 waveforms
-          in
-          let ok =
-            match Control.check schedule waveforms with Ok () -> "ok" | Error e -> e
-          in
-          Tablefmt.add_row t
-            [
-              label;
-              Compile.algorithm_to_string algorithm;
-              Tablefmt.cell_int max_segments;
-              Tablefmt.cell_float ~digits:4 max_slew;
-              ok;
-            ])
-        [ Compile.Uniform; Compile.Color_dynamic ])
-    [ ("ising(9)", Ising.circuit ~n:9 ()); ("xeb(9,5)", Exp_common.xeb_for_device (Exp_common.mesh_device 9)) ];
+  let cells =
+    List.concat_map
+      (fun (label, circuit) ->
+        List.map
+          (fun algorithm -> (label, circuit, algorithm))
+          [ Compile.Uniform; Compile.Color_dynamic ])
+      [
+        ("ising(9)", Ising.circuit ~n:9 ());
+        ("xeb(9,5)", Exp_common.xeb_for_device (Exp_common.mesh_device 9));
+      ]
+  in
+  let rows =
+    Exp_common.grid
+      (fun (label, circuit, algorithm) ->
+        let schedule = Compile.run algorithm device circuit in
+        let waveforms = Control.lower schedule in
+        let max_segments =
+          Array.fold_left (fun acc w -> max acc (List.length w)) 0 waveforms
+        in
+        let max_slew =
+          Array.fold_left (fun acc w -> Float.max acc (Control.max_slew_rate w)) 0.0 waveforms
+        in
+        let ok =
+          match Control.check schedule waveforms with Ok () -> "ok" | Error e -> e
+        in
+        [
+          label;
+          Compile.algorithm_to_string algorithm;
+          Tablefmt.cell_int max_segments;
+          Tablefmt.cell_float ~digits:4 max_slew;
+          ok;
+        ])
+      cells
+  in
+  List.iter (Tablefmt.add_row t) rows;
   Tablefmt.print t;
   Printf.printf
     "(every schedule lowers to a continuous, bounded-flux waveform per qubit —\n\
@@ -128,22 +154,24 @@ let snake_comparison () =
         "benchmark"; "CD log10 P"; "anneal log10 P"; "CD compile (s)"; "anneal compile (s)";
       ]
   in
-  List.iter
-    (fun bench ->
-      let device = Exp_common.mesh_device bench.Exp_common.n in
-      let circuit = bench.Exp_common.make device in
-      let native = Compile.prepare Compile.default_options device circuit in
-      let timed algorithm =
-        let start = Unix.gettimeofday () in
-        let schedule =
-          Compile.schedule_native Compile.default_options algorithm device native
+  (* one cell per benchmark: the two timed compilations stay serial within a
+     cell so their wall-clock comparison is not skewed by pool contention *)
+  let rows =
+    Exp_common.grid
+      (fun bench ->
+        let device = Exp_common.mesh_device bench.Exp_common.n in
+        let circuit = bench.Exp_common.make device in
+        let native = Compile.prepare Compile.default_options device circuit in
+        let timed algorithm =
+          let start = Unix.gettimeofday () in
+          let schedule =
+            Compile.schedule_native Compile.default_options algorithm device native
+          in
+          let elapsed = Unix.gettimeofday () -. start in
+          ((Schedule.evaluate schedule).Schedule.log10_success, elapsed)
         in
-        let elapsed = Unix.gettimeofday () -. start in
-        ((Schedule.evaluate schedule).Schedule.log10_success, elapsed)
-      in
-      let cd_p, cd_t = timed Compile.Color_dynamic in
-      let an_p, an_t = timed Compile.Anneal_dynamic in
-      Tablefmt.add_row t
+        let cd_p, cd_t = timed Compile.Color_dynamic in
+        let an_p, an_t = timed Compile.Anneal_dynamic in
         [
           bench.Exp_common.label;
           Exp_common.log_cell cd_p;
@@ -151,12 +179,14 @@ let snake_comparison () =
           Tablefmt.cell_float ~digits:4 cd_t;
           Tablefmt.cell_float ~digits:4 an_t;
         ])
-    [
-      Exp_common.benchmark "bv" 9;
-      Exp_common.benchmark "ising" 9;
-      Exp_common.benchmark "xeb" 9;
-      Exp_common.benchmark "xeb" 16;
-    ];
+      [
+        Exp_common.benchmark "bv" 9;
+        Exp_common.benchmark "ising" 9;
+        Exp_common.benchmark "xeb" 9;
+        Exp_common.benchmark "xeb" 16;
+      ]
+  in
+  List.iter (Tablefmt.add_row t) rows;
   Tablefmt.print t;
   Printf.printf
     "(the paper's §III claim, reproduced: the coloring decomposition matches the\n\

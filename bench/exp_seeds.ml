@@ -22,19 +22,22 @@ let robustness () =
       :: (List.map (fun s -> "seed " ^ string_of_int s) seeds @ [ "mean"; "stddev" ]))
   in
   let all_ratios = ref [] in
-  List.iter
-    (fun bench ->
-      let gaps =
-        List.map
-          (fun seed ->
-            let device = Exp_common.mesh_device ~seed bench.Exp_common.n in
-            let u = Exp_common.compile_and_evaluate ~algorithm:Compile.Uniform device bench in
-            let cd =
-              Exp_common.compile_and_evaluate ~algorithm:Compile.Color_dynamic device bench
-            in
-            cd.Schedule.log10_success -. u.Schedule.log10_success)
-          seeds
-      in
+  (* one pool cell per (benchmark, fabrication seed): each cell fabricates
+     its own device from its seed, so cells share nothing *)
+  let cells = List.concat_map (fun bench -> List.map (fun s -> (bench, s)) seeds) benches in
+  let gaps_flat =
+    Exp_common.grid
+      (fun (bench, seed) ->
+        let device = Exp_common.mesh_device ~seed bench.Exp_common.n in
+        let u = Exp_common.compile_and_evaluate ~algorithm:Compile.Uniform device bench in
+        let cd =
+          Exp_common.compile_and_evaluate ~algorithm:Compile.Color_dynamic device bench
+        in
+        cd.Schedule.log10_success -. u.Schedule.log10_success)
+      cells
+  in
+  List.iter2
+    (fun bench gaps ->
       all_ratios := gaps @ !all_ratios;
       Tablefmt.add_row t
         (bench.Exp_common.label
@@ -43,7 +46,8 @@ let robustness () =
                Tablefmt.cell_float ~digits:2 (Stats.mean gaps);
                Tablefmt.cell_float ~digits:2 (Stats.stddev gaps);
              ])))
-    benches;
+    benches
+    (Exp_common.rows_of ~width:(List.length seeds) gaps_flat);
   Tablefmt.print t;
   Printf.printf
     "(each cell is log10(P_CD / P_U) on a freshly fabricated device; positive\n\

@@ -6,18 +6,10 @@ let algorithms = Compile.all_algorithms
 
 let column_labels = List.map Compile.algorithm_to_string algorithms
 
-(* One compile+evaluate sweep shared by both figures. *)
+(* One compile+evaluate sweep shared by both figures, fanned over the domain
+   pool one (benchmark x algorithm) cell at a time. *)
 let sweep () =
-  List.map
-    (fun bench ->
-      let device = Exp_common.mesh_device bench.Exp_common.n in
-      let metrics =
-        List.map
-          (fun algorithm -> (algorithm, Exp_common.compile_and_evaluate ~algorithm device bench))
-          algorithms
-      in
-      (bench, metrics))
-    (Exp_common.full_suite ())
+  Exp_common.compile_and_evaluate_grid ~algorithms (Exp_common.full_suite ())
 
 let fig9 ?(results = sweep ()) () =
   Exp_common.heading "Fig 9: log10 worst-case program success rate (higher is better)";

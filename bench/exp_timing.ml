@@ -109,6 +109,39 @@ let experiment_tests () =
                 ~times:[ 5.0; 10.0; 15.0; 20.0; 25.0; 30.0 ])));
   ]
 
+(* Machine-readable sibling of the printed table, for tracking performance
+   across commits (e.g. the sweep-grid / memoization work): one JSON object
+   per benchmark with the OLS ns-per-run estimate.  The label defaults to
+   "timing" and can be overridden with FASTSC_BENCH_LABEL so CI can keep
+   before/after files side by side. *)
+let emit_json measurements =
+  let label =
+    match Sys.getenv_opt "FASTSC_BENCH_LABEL" with
+    | Some l when l <> "" -> l
+    | _ -> "timing"
+  in
+  let path = Printf.sprintf "BENCH_%s.json" label in
+  let benchmarks =
+    List.map
+      (fun (name, ns) ->
+        Json.Obj [ ("name", Json.String name); ("ns_per_run", Json.Float ns) ])
+      measurements
+  in
+  let doc =
+    Json.Obj
+      [
+        ("label", Json.String label);
+        ("unit", Json.String "ns/run");
+        ("jobs", Json.Int (Pool.default_jobs ()));
+        ("benchmarks", Json.List benchmarks);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s (%d benchmarks)\n%!" path (List.length benchmarks)
+
 let run () =
   Exp_common.heading "Bechamel timing suite (per-run wall clock)";
   let tests = micro_tests () @ experiment_tests () in
@@ -124,17 +157,20 @@ let run () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
+      let estimate = match Analyze.OLS.estimates ols with Some [ ns ] -> Some ns | _ -> None in
       let cell =
-        match Analyze.OLS.estimates ols with
-        | Some [ ns ] ->
+        match estimate with
+        | Some ns ->
           if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
           else Printf.sprintf "%.0f ns" ns
-        | _ -> "n/a"
+        | None -> "n/a"
       in
-      rows := (name, cell) :: !rows)
+      rows := (name, cell, estimate) :: !rows)
     results;
-  List.iter (fun (name, cell) -> Tablefmt.add_row t [ name; cell ])
-    (List.sort compare !rows);
-  Tablefmt.print t
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, cell, _) -> Tablefmt.add_row t [ name; cell ]) rows;
+  Tablefmt.print t;
+  emit_json
+    (List.filter_map (fun (name, _, estimate) -> Option.map (fun ns -> (name, ns)) estimate) rows)

@@ -57,15 +57,42 @@ let run_all () =
   Exp_timing.run ()
 
 let usage () =
-  print_endline "usage: main.exe [experiment...]";
+  print_endline "usage: main.exe [--jobs N] [experiment...]";
   print_endline "available experiments:";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-18s %s\n" name descr) experiments;
-  print_endline "  all                everything (default)"
+  print_endline "  all                everything (default)";
+  print_endline
+    "  --jobs N | -j N    domains for the sweep grid (default: cores - 1,\n\
+    \                     or the FASTSC_JOBS environment variable)"
+
+(* Strip --jobs/-j from the argument list before experiment dispatch.  The
+   chosen parallelism is announced on stderr (and per heading): stdout is the
+   determinism surface and must be byte-identical at any job count. *)
+let parse_jobs args =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: value :: rest -> (
+      match int_of_string_opt value with
+      | Some j when j >= 1 ->
+        Pool.set_default_jobs j;
+        go acc rest
+      | _ ->
+        Printf.eprintf "--jobs needs a positive integer, got %S\n" value;
+        exit 1)
+    | [ ("--jobs" | "-j") ] ->
+      Printf.eprintf "--jobs needs a value\n";
+      exit 1
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] args
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] | [ _; "all" ] -> run_all ()
-  | _ :: args ->
+  let args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  Printf.eprintf "parallelism: %d jobs (override with --jobs N or FASTSC_JOBS)\n%!"
+    (Pool.default_jobs ());
+  match args with
+  | [] | [ "all" ] -> run_all ()
+  | args ->
     List.iter
       (fun arg ->
         match List.find_opt (fun (name, _, _) -> name = arg) experiments with
@@ -78,4 +105,3 @@ let () =
             exit 1
           end)
       args
-  | [] -> run_all ()

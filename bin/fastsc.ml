@@ -71,6 +71,22 @@ let algorithm_arg =
     & info [ "algorithm"; "a" ] ~docv:"ALG"
         ~doc:"Algorithm: naive/n, gmon/g, uniform/u, static/s, color-dynamic/cd.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel work (default: cores - 1, overridable by \
+           $(b,FASTSC_JOBS)). Output is byte-identical at any job count.")
+
+let apply_jobs = function
+  | None -> `Ok ()
+  | Some j when j >= 1 ->
+    Pool.set_default_jobs j;
+    `Ok ()
+  | Some _ -> `Error (false, "--jobs needs a positive integer")
+
 let with_device topology_spec n seed k =
   match parse_topology topology_spec n with
   | `Error _ as e -> e
@@ -153,7 +169,10 @@ let compile_cmd =
       value & flag
       & info [ "chart" ] ~doc:"Print the schedule's frequency chart (qubits x steps).")
   in
-  let run topology_spec n seed bench alg verbose json draw chart input =
+  let run topology_spec n seed bench alg verbose json draw chart input jobs =
+    match apply_jobs jobs with
+    | `Error _ as e -> e
+    | `Ok () ->
     match Compile.algorithm_of_string alg with
     | None -> `Error (false, Printf.sprintf "unknown algorithm %S" alg)
     | Some algorithm -> (
@@ -208,7 +227,7 @@ let compile_cmd =
     Term.(
       ret
         (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ algorithm_arg
-       $ verbose_arg $ json_arg $ draw_arg $ chart_arg $ input_arg))
+       $ verbose_arg $ json_arg $ draw_arg $ chart_arg $ input_arg $ jobs_arg))
 
 (* fastsc qasm *)
 let qasm_cmd =
@@ -238,37 +257,43 @@ let qasm_cmd =
 
 (* fastsc sweep *)
 let sweep_cmd =
-  let run topology_spec n seed bench =
-    with_device topology_spec n seed (fun device ->
-        if not (List.mem bench benchmark_names) then
-          `Error (false, Printf.sprintf "unknown benchmark %S" bench)
-        else begin
-          let circuit = make_benchmark bench n seed device in
-          let t =
-            Tablefmt.create
-              [ "algorithm"; "log10 P"; "crosstalk"; "decoherence"; "depth"; "time (ns)" ]
-          in
-          List.iter
-            (fun algorithm ->
-              let schedule = Compile.run algorithm device circuit in
-              let m = Schedule.evaluate schedule in
-              Tablefmt.add_row t
-                [
-                  Compile.algorithm_to_string algorithm;
-                  Tablefmt.cell_float ~digits:2 m.Schedule.log10_success;
-                  Tablefmt.cell_sci ~digits:2 m.Schedule.crosstalk_error;
-                  Tablefmt.cell_sci ~digits:2 m.Schedule.decoherence_error;
-                  Tablefmt.cell_int m.Schedule.depth;
-                  Tablefmt.cell_float ~digits:0 m.Schedule.total_time;
-                ])
-            Compile.all_algorithms;
-          Tablefmt.print t;
-          `Ok ()
-        end)
+  let run topology_spec n seed bench jobs =
+    match apply_jobs jobs with
+    | `Error _ as e -> e
+    | `Ok () ->
+      with_device topology_spec n seed (fun device ->
+          if not (List.mem bench benchmark_names) then
+            `Error (false, Printf.sprintf "unknown benchmark %S" bench)
+          else begin
+            let circuit = make_benchmark bench n seed device in
+            let t =
+              Tablefmt.create
+                [ "algorithm"; "log10 P"; "crosstalk"; "decoherence"; "depth"; "time (ns)" ]
+            in
+            (* one pool cell per algorithm; rows print in algorithm order *)
+            let rows =
+              Pool.map
+                (fun algorithm ->
+                  let schedule = Compile.run algorithm device circuit in
+                  let m = Schedule.evaluate schedule in
+                  [
+                    Compile.algorithm_to_string algorithm;
+                    Tablefmt.cell_float ~digits:2 m.Schedule.log10_success;
+                    Tablefmt.cell_sci ~digits:2 m.Schedule.crosstalk_error;
+                    Tablefmt.cell_sci ~digits:2 m.Schedule.decoherence_error;
+                    Tablefmt.cell_int m.Schedule.depth;
+                    Tablefmt.cell_float ~digits:0 m.Schedule.total_time;
+                  ])
+                Compile.all_algorithms
+            in
+            List.iter (Tablefmt.add_row t) rows;
+            Tablefmt.print t;
+            `Ok ()
+          end)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Compare all algorithms on one benchmark")
-    Term.(ret (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg))
+    Term.(ret (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ jobs_arg))
 
 (* fastsc validate *)
 let validate_cmd =

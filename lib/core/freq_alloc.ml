@@ -1,6 +1,46 @@
 type assignment = { freqs : float array; delta : float }
 
-let solve_separated ~lo ~hi ~alpha ~order n =
+type cache_stats = { hits : int; misses : int; entries : int }
+
+(* The separation problems solved here are fully determined by a canonical
+   key: the variable count, the band, the anharmonicity offset, and the
+   multiplicity-derived placement order.  `Smt.find_max_delta` binary-searches
+   a backtracking solve per probe, so ColorDynamic re-paying it for the same
+   (n_colors, order) layer after layer is the dominant compile cost (§VII-C);
+   one mutex-protected table removes the repeats and stays safe when sweep
+   cells run on pool domains. *)
+type key = {
+  k_n : int;
+  k_lo : float;
+  k_hi : float;
+  k_alpha : float;
+  k_order : int list option;
+}
+
+let cache : (key, float * float array) Hashtbl.t = Hashtbl.create 64
+
+let cache_mutex = Mutex.create ()
+
+let cache_hits = ref 0
+
+let cache_misses = ref 0
+
+let max_cache_entries = 4096
+
+let solver_cache_stats () =
+  Mutex.lock cache_mutex;
+  let stats = { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length cache } in
+  Mutex.unlock cache_mutex;
+  stats
+
+let reset_solver_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  cache_hits := 0;
+  cache_misses := 0;
+  Mutex.unlock cache_mutex
+
+let solve_separated_uncached ~lo ~hi ~alpha ~order n =
   let problem = Fastsc_smt.Smt.create ~lo ~hi n in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
@@ -13,6 +53,26 @@ let solve_separated ~lo ~hi ~alpha ~order n =
   match Fastsc_smt.Smt.find_max_delta ?order problem with
   | Some (delta, freqs) -> { freqs; delta }
   | None -> failwith "Freq_alloc: no feasible frequency assignment"
+
+let solve_separated ~lo ~hi ~alpha ~order n =
+  let key = { k_n = n; k_lo = lo; k_hi = hi; k_alpha = alpha; k_order = order } in
+  Mutex.lock cache_mutex;
+  let cached = Hashtbl.find_opt cache key in
+  (match cached with
+  | Some _ -> incr cache_hits
+  | None -> incr cache_misses);
+  Mutex.unlock cache_mutex;
+  match cached with
+  | Some (delta, freqs) -> { freqs = Array.copy freqs; delta }
+  | None ->
+    let assignment = solve_separated_uncached ~lo ~hi ~alpha ~order n in
+    Mutex.lock cache_mutex;
+    if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
+    (* another domain may have solved the same key meanwhile; both computed
+       the same deterministic answer, so last-write-wins is fine *)
+    Hashtbl.replace cache key (assignment.delta, Array.copy assignment.freqs);
+    Mutex.unlock cache_mutex;
+    assignment
 
 (* Rigid translation preserves every pairwise separation and lets the
    assignment hug one end of its band: idle frequencies sink toward the low

@@ -18,6 +18,20 @@ type assignment = {
   delta : float;  (** The achieved pairwise separation. *)
 }
 
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val solver_cache_stats : unit -> cache_stats
+(** Counters of the memoized separation solver.  Every [find_max_delta]
+    binary search is keyed by the canonical problem description (variable
+    count, band, anharmonicity, placement order); repeat solves — e.g. the
+    same color count appearing in many ColorDynamic cycles — are served from
+    a mutex-protected table, so the counters are safe to read while pool
+    domains compile. *)
+
+val reset_solver_cache : unit -> unit
+(** Drop all memoized solves and zero the counters (tests; also useful when
+    measuring cold-compile costs). *)
+
 val idle : Device.t -> Coloring.coloring * assignment
 (** Color the connectivity graph (2 colors when bipartite, Welsh–Powell
     otherwise) and solve for parking frequencies.

@@ -45,4 +45,18 @@ val pair_error :
   t:float -> unit -> float
 (** Combined unwanted-interaction error for a spectator pair over one time
     slice: [1 - prod_channels (1 - P_channel)].  With [worst_case] the
-    envelope is used instead of the time-dependent probability. *)
+    envelope is used instead of the time-dependent probability.
+
+    Results are memoized on the exact argument tuple (idle frequencies are
+    fixed per device and interaction frequencies quantized by color, so the
+    same tuples recur across every step of a schedule); the cache is
+    mutex-protected and therefore safe under [Pool] parallelism, and a hit
+    returns a bit-identical float. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val pair_cache_stats : unit -> cache_stats
+(** Counters of the {!pair_error} memo table. *)
+
+val reset_pair_cache : unit -> unit
+(** Drop all memoized pair errors and zero the counters. *)

@@ -94,6 +94,73 @@ let test_spread () =
   Alcotest.(check (array (float 1e-9))) "single centered" [| 6.0 |] (Freq_alloc.spread ~lo:5.0 ~hi:7.0 1);
   check_int "empty" 0 (Array.length (Freq_alloc.spread ~lo:5.0 ~hi:7.0 0))
 
+(* --- the memoized separation solver --- *)
+
+let test_cache_hit_and_identical_result () =
+  Freq_alloc.reset_solver_cache ();
+  let d = device () in
+  let solve () = Freq_alloc.interaction d ~n_colors:3 ~multiplicity:[| 2; 5; 1 |] in
+  let fresh = solve () in
+  let stats = Freq_alloc.solver_cache_stats () in
+  check_true "first solve misses" (stats.Freq_alloc.misses >= 1);
+  let memoized = solve () in
+  let stats' = Freq_alloc.solver_cache_stats () in
+  check_true "second solve hits" (stats'.Freq_alloc.hits > stats.Freq_alloc.hits);
+  check_float "same delta" fresh.Freq_alloc.delta memoized.Freq_alloc.delta;
+  Alcotest.(check (array (float 0.0))) "same assignment" fresh.Freq_alloc.freqs
+    memoized.Freq_alloc.freqs
+
+let test_cache_result_isolated () =
+  (* a cached hit must hand back a private array: mutating one caller's
+     assignment must not corrupt later solves of the same key *)
+  Freq_alloc.reset_solver_cache ();
+  let d = device () in
+  let first = Freq_alloc.interaction d ~n_colors:2 ~multiplicity:[| 1; 1 |] in
+  let saved = Array.copy first.Freq_alloc.freqs in
+  first.Freq_alloc.freqs.(0) <- 0.0;
+  let second = Freq_alloc.interaction d ~n_colors:2 ~multiplicity:[| 1; 1 |] in
+  Alcotest.(check (array (float 0.0))) "hit unaffected by caller mutation" saved
+    second.Freq_alloc.freqs
+
+let test_cache_keys_distinguish_problems () =
+  Freq_alloc.reset_solver_cache ();
+  let d = device () in
+  ignore (Freq_alloc.interaction d ~n_colors:3 ~multiplicity:[| 1; 2; 3 |]);
+  (* different multiplicity vector => different placement order => new key *)
+  ignore (Freq_alloc.interaction d ~n_colors:3 ~multiplicity:[| 3; 2; 1 |]);
+  let stats = Freq_alloc.solver_cache_stats () in
+  check_int "two distinct problems, two misses" 2 stats.Freq_alloc.misses;
+  check_int "no false hits" 0 stats.Freq_alloc.hits
+
+let xeb16_compile () =
+  let d16 = Device.create ~seed:2020 (Topology.grid 4 4) in
+  let classes = Fastsc_core.Baseline_gmon.edge_classes d16 in
+  let circuit =
+    Fastsc_benchmarks.Xeb.circuit (Rng.create 7) ~graph:(Device.graph d16) ~classes ~cycles:5 ()
+  in
+  let native = Compile.prepare Compile.default_options d16 circuit in
+  let schedule, _ = Color_dynamic.run d16 native in
+  Schedule.evaluate schedule
+
+let test_colordynamic_xeb16_reuses_cache () =
+  (* the acceptance check of the memoization layer: a single ColorDynamic
+     compile of xeb(16) re-solves structurally identical SMT subproblems
+     across cycles, so the cache must see hits even from cold — and the
+     emitted metrics must not change between a cold and a warm compile *)
+  Freq_alloc.reset_solver_cache ();
+  let cold = xeb16_compile () in
+  let stats = Freq_alloc.solver_cache_stats () in
+  check_true "cold compile already hits the cache" (stats.Freq_alloc.hits >= 1);
+  check_true "and misses at least once" (stats.Freq_alloc.misses >= 1);
+  let warm = xeb16_compile () in
+  check_float "log10 success unchanged by memoization" cold.Schedule.log10_success
+    warm.Schedule.log10_success;
+  check_float "crosstalk error unchanged" cold.Schedule.crosstalk_error
+    warm.Schedule.crosstalk_error;
+  check_float "decoherence error unchanged" cold.Schedule.decoherence_error
+    warm.Schedule.decoherence_error;
+  check_int "depth unchanged" cold.Schedule.depth warm.Schedule.depth
+
 let prop_interaction_separations_hold =
   qcheck_case ~count:50 "all pairwise separations honored" QCheck.(int_range 1 6) (fun n ->
       let d = device () in
@@ -120,5 +187,12 @@ let suite =
     Alcotest.test_case "delta shrinks with colors" `Quick test_delta_shrinks_with_colors;
     Alcotest.test_case "custom region" `Quick test_custom_region_override;
     Alcotest.test_case "spread" `Quick test_spread;
+    Alcotest.test_case "solver cache hit, identical result" `Quick
+      test_cache_hit_and_identical_result;
+    Alcotest.test_case "solver cache isolates results" `Quick test_cache_result_isolated;
+    Alcotest.test_case "solver cache keys distinguish" `Quick
+      test_cache_keys_distinguish_problems;
+    Alcotest.test_case "colordynamic xeb16 reuses cache" `Quick
+      test_colordynamic_xeb16_reuses_cache;
     prop_interaction_separations_hold;
   ]

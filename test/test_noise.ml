@@ -62,6 +62,29 @@ let test_pair_error_worst_case_dominates () =
   in
   check_true "envelope bounds the timed value" (wc >= timed -. 1e-12)
 
+let test_pair_error_cache () =
+  Crosstalk.reset_pair_cache ();
+  let eval () =
+    Crosstalk.pair_error ~alpha_a:(-0.2) ~alpha_b:(-0.2) ~g:0.03 ~omega_a:6.0 ~omega_b:5.8
+      ~t:50.0 ()
+  in
+  let fresh = eval () in
+  let stats = Crosstalk.pair_cache_stats () in
+  check_true "first evaluation misses" (stats.Crosstalk.misses >= 1);
+  let cached = eval () in
+  let stats' = Crosstalk.pair_cache_stats () in
+  check_true "second evaluation hits" (stats'.Crosstalk.hits > stats.Crosstalk.hits);
+  (* hits must be bit-identical, not merely close *)
+  check_true "cached value bit-identical" (Int64.bits_of_float fresh = Int64.bits_of_float cached);
+  (* a different key is a miss, never a near-match hit *)
+  let other =
+    Crosstalk.pair_error ~alpha_a:(-0.2) ~alpha_b:(-0.2) ~g:0.03 ~omega_a:6.0 ~omega_b:5.80001
+      ~t:50.0 ()
+  in
+  let stats'' = Crosstalk.pair_cache_stats () in
+  check_true "perturbed key misses" (stats''.Crosstalk.misses > stats'.Crosstalk.misses);
+  check_true "and computes its own value" (other <> fresh)
+
 let test_decoherence_models () =
   let combined = Decoherence.error ~t1:30000.0 ~t2:20000.0 ~t:1000.0 () in
   let expected = (1.0 -. exp (-1000.0 /. 30000.0)) *. (1.0 -. exp (-1000.0 /. 20000.0)) in
@@ -139,6 +162,7 @@ let suite =
     Alcotest.test_case "sideband trap" `Quick test_pair_error_sideband_trap;
     Alcotest.test_case "zero coupling" `Quick test_pair_error_zero_coupling;
     Alcotest.test_case "worst case dominates" `Quick test_pair_error_worst_case_dominates;
+    Alcotest.test_case "pair error cache" `Quick test_pair_error_cache;
     Alcotest.test_case "decoherence models" `Quick test_decoherence_models;
     Alcotest.test_case "decoherence validation" `Quick test_decoherence_validation;
     Alcotest.test_case "pauli rates" `Quick test_pauli_rates;
