@@ -1,0 +1,28 @@
+# Convenience entry points; `make check` is the PR gate.
+
+DUNE ?= dune
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+# The PR gate: full build (warnings are errors, see the root `dune` env
+# stanza), then the whole test suite under both a serial and a parallel
+# domain pool — the determinism contract says results must not depend on
+# the job count, so both legs must pass.
+check:
+	$(DUNE) build @all
+	FASTSC_JOBS=1 $(DUNE) runtest --force
+	FASTSC_JOBS=4 $(DUNE) runtest --force
+
+clean:
+	$(DUNE) clean

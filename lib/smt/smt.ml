@@ -146,23 +146,59 @@ let solve_any t ~delta =
     Some (Array.map (function Some x -> x | None -> nan) placed)
   else None
 
-let check t ~delta assignment =
-  Array.length assignment = t.n
-  && (let ok = ref (self_constraints_ok t ~delta) in
-      for v = 0 to t.n - 1 do
-        if assignment.(v) < t.lo.(v) -. epsilon || assignment.(v) > t.hi.(v) +. epsilon
-        then ok := false
-      done;
-      List.iter
-        (fun { i; j; offset } ->
-          if i <> j && Float.abs (assignment.(i) +. offset -. assignment.(j)) +. epsilon < delta
-          then ok := false)
-        t.seps;
-      List.iter
-        (fun (v, center) ->
-          if Float.abs (assignment.(v) -. center) +. epsilon < delta then ok := false)
-        t.forbidden;
-      !ok)
+type violation =
+  | Length_mismatch of int
+  | Not_finite of int
+  | Out_of_bounds of int
+  | Separation_violated of int * int * float
+  | Forbidden_violated of int * float
+
+let pp_violation ppf = function
+  | Length_mismatch n -> Format.fprintf ppf "assignment has %d values" n
+  | Not_finite v -> Format.fprintf ppf "x%d is not finite" v
+  | Out_of_bounds v -> Format.fprintf ppf "x%d outside its bounds" v
+  | Separation_violated (i, j, offset) ->
+    if offset = 0.0 then Format.fprintf ppf "|x%d - x%d| < delta" i j
+    else Format.fprintf ppf "|x%d %+g - x%d| < delta" i offset j
+  | Forbidden_violated (v, center) ->
+    Format.fprintf ppf "x%d inside the forbidden zone around %g" v center
+
+(* All comparisons carry the same epsilon slack the solver uses, so witnesses
+   sitting exactly on a boundary (two variables at precisely delta apart, a
+   value landing on an interval endpoint) verify as satisfying.  Non-finite
+   values are rejected explicitly: every float comparison against NaN is
+   false, so without the finiteness pass an all-NaN array would sail through
+   the bounds and separation loops untouched. *)
+let violations t ~delta assignment =
+  if Array.length assignment <> t.n then [ Length_mismatch (Array.length assignment) ]
+  else begin
+    let found = ref [] in
+    let report v = found := v :: !found in
+    for v = 0 to t.n - 1 do
+      if not (Float.is_finite assignment.(v)) then report (Not_finite v)
+      else if assignment.(v) < t.lo.(v) -. epsilon || assignment.(v) > t.hi.(v) +. epsilon
+      then report (Out_of_bounds v)
+    done;
+    (* seps is kept newest-first; walk insertion order for a stable report *)
+    List.iter
+      (fun { i; j; offset } ->
+        let broken =
+          if i = j then Float.abs offset +. epsilon < delta
+          else Float.abs (assignment.(i) +. offset -. assignment.(j)) +. epsilon < delta
+        in
+        if broken then report (Separation_violated (i, j, offset)))
+      (List.rev t.seps);
+    List.iter
+      (fun (v, center) ->
+        if Float.abs (assignment.(v) -. center) +. epsilon < delta then
+          report (Forbidden_violated (v, center)))
+      (List.rev t.forbidden);
+    List.rev !found
+  end
+
+let verify t ~delta assignment = violations t ~delta assignment = []
+
+let check = verify
 
 let solve ?order t ~delta =
   if not (self_constraints_ok t ~delta) then None

@@ -44,10 +44,34 @@ val solve : ?order:int list -> t -> delta:float -> float array option
     the assignment additionally satisfies
     [x_order(0) <= x_order(1) <= ...]. *)
 
-val check : t -> delta:float -> float array -> bool
+type violation =
+  | Length_mismatch of int  (** Assignment length (problem size expected). *)
+  | Not_finite of int  (** Variable holding NaN or an infinity. *)
+  | Out_of_bounds of int  (** Variable outside its [lo, hi] range. *)
+  | Separation_violated of int * int * float
+      (** [(i, j, offset)] with [|x_i + offset - x_j| < delta]. *)
+  | Forbidden_violated of int * float
+      (** [(i, center)] with [x_i] inside the forbidden interval. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violations : t -> delta:float -> float array -> violation list
+(** Every constraint the assignment breaks at the given [delta], in a
+    deterministic order (length, finiteness, bounds, separations, forbidden
+    zones).  Comparisons carry a small epsilon slack so assignments exactly
+    at the boundary — e.g. two variables separated by precisely [delta] —
+    verify as satisfying.  Non-finite values are violations: an all-NaN
+    array satisfies no constraint system. *)
+
+val verify : t -> delta:float -> float array -> bool
 (** Independent verifier: does the assignment satisfy bounds, separations and
-    forbidden zones at the given [delta]?  Used by tests and as an internal
-    sanity assertion. *)
+    forbidden zones at the given [delta]?  Equivalent to
+    [violations t ~delta a = []] — an oracle for any assignment regardless of
+    which search path produced it.  Used by the property-based suites and as
+    an internal sanity assertion. *)
+
+val check : t -> delta:float -> float array -> bool
+(** Alias of {!verify}, kept for existing callers. *)
 
 val find_max_delta :
   ?order:int list -> ?tolerance:float -> ?delta_hi:float -> t ->

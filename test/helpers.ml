@@ -15,5 +15,39 @@ let equal_up_to_phase ?tol a b = Unitary.equal_up_to_phase ?tol a b
 
 let circuit_unitary = Unitary.of_circuit
 
+(* Substring search, shared by every suite that greps captured output. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+(* Seeded Erdos-Renyi graph, shared by the graph/coloring suites. *)
+let random_graph seed n p =
+  let rng = Rng.create seed in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+(* Two gate lists on the same register implement the same operator up to
+   global phase — the contract of every decomposition identity. *)
+let check_gates_equivalent ?(n = 2) name original replacement =
+  let c_orig = Circuit.of_gates n original in
+  let c_new = Circuit.of_gates n replacement in
+  check_true name (equal_up_to_phase (circuit_unitary c_new) (circuit_unitary c_orig))
+
+let check_circuits_equivalent name expected actual =
+  check_true name (equal_up_to_phase (circuit_unitary actual) (circuit_unitary expected))
+
 let qcheck_case ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* In-house engine: package a Proptest property as an Alcotest case.  On a
+   counterexample the raised message carries the shrunk value, the seed and
+   the FASTSC_PROPTEST_SEED replay line. *)
+let prop_case ?count ?seed name arb prop =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.check ?seed (Proptest.test ~name ?count arb prop))

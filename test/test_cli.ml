@@ -17,11 +17,6 @@ let run_capture args =
   Sys.remove out_file;
   (code, text)
 
-let contains haystack needle =
-  let n = String.length needle and h = String.length haystack in
-  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
-  scan 0
-
 let test_list () =
   let code, text = run_capture "list" in
   check_int "exit 0" 0 code;

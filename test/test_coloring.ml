@@ -1,15 +1,5 @@
 open Helpers
 
-let random_graph seed n p =
-  let rng = Rng.create seed in
-  let g = Graph.create n in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      if Rng.float rng < p then Graph.add_edge g u v
-    done
-  done;
-  g
-
 let test_welsh_powell_proper () =
   let g = random_graph 1 30 0.3 in
   let c = Coloring.welsh_powell g in

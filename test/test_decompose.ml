@@ -3,9 +3,7 @@ open Helpers
 (* Every decomposition must reproduce the original two-qubit unitary up to a
    global phase, checked through the state-vector simulator. *)
 let check_equivalent name original replacement =
-  let c_orig = Circuit.of_gates 2 [ original ] in
-  let c_new = Circuit.of_gates 2 replacement in
-  check_true name (equal_up_to_phase (circuit_unitary c_new) (circuit_unitary c_orig))
+  check_gates_equivalent name [ original ] replacement
 
 let test_cnot_via_cz () =
   check_equivalent "cnot via cz" (Gate.Cnot, [ 1; 0 ]) (Decompose.cnot_via_cz 1 0);

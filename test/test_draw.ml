@@ -1,10 +1,5 @@
 open Helpers
 
-let contains haystack needle =
-  let n = String.length needle and h = String.length haystack in
-  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
-  scan 0
-
 let sample () =
   Circuit.of_gates 3 [ (Gate.H, [ 0 ]); (Gate.Cnot, [ 0; 2 ]); (Gate.X, [ 1 ]) ]
 

@@ -2,11 +2,6 @@ open Helpers
 open Fastsc_device
 open Fastsc_core
 
-let contains haystack needle =
-  let n = String.length needle and h = String.length haystack in
-  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
-  scan 0
-
 (* A tiny structural validator: balanced braces/brackets outside strings,
    and no trailing garbage — enough to catch emitter bugs. *)
 let well_formed text =

@@ -2,8 +2,7 @@ open Helpers
 
 let check_equivalent name circuit =
   let optimized = Optimize.run circuit in
-  check_true (name ^ " semantics")
-    (equal_up_to_phase (circuit_unitary optimized) (circuit_unitary circuit));
+  check_circuits_equivalent (name ^ " semantics") circuit optimized;
   optimized
 
 let test_double_h_cancels () =

@@ -1,10 +1,5 @@
 open Helpers
 
-let contains haystack needle =
-  let n = String.length needle and h = String.length haystack in
-  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
-  scan 0
-
 let test_basic_render () =
   let t = Tablefmt.create [ "name"; "value" ] in
   Tablefmt.add_row t [ "alpha"; "1" ];
