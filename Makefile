@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench examples check clean
 
 all: build
 
@@ -15,14 +15,24 @@ test:
 bench:
 	$(DUNE) exec bench/main.exe
 
+# Smoke-run every worked example (examples/*.ml are documentation that must
+# keep compiling AND running); output is discarded, a non-zero exit fails.
+examples:
+	$(DUNE) build examples
+	@for e in quickstart qaoa_maxcut xeb_calibration topology_explorer error_diagnosis; do \
+	  echo "running examples/$$e"; \
+	  ./_build/default/examples/$$e.exe > /dev/null || exit 1; \
+	done
+
 # The PR gate: full build (warnings are errors, see the root `dune` env
 # stanza), then the whole test suite under both a serial and a parallel
 # domain pool — the determinism contract says results must not depend on
-# the job count, so both legs must pass.
+# the job count, so both legs must pass — and the example programs.
 check:
 	$(DUNE) build @all
 	FASTSC_JOBS=1 $(DUNE) runtest --force
 	FASTSC_JOBS=4 $(DUNE) runtest --force
+	$(MAKE) examples
 
 clean:
 	$(DUNE) clean

@@ -52,16 +52,25 @@ let suite_names = [ "bv"; "qaoa"; "ising"; "qgan"; "xeb" ]
 let full_suite () =
   List.concat_map (fun name -> List.map (fun n -> benchmark name n) suite_sizes) suite_names
 
+(* All compilation goes through the pass-manager pipeline; drivers that need
+   scheduler statistics or the instrumentation trail read them off the
+   returned context instead of the old ColorDynamic-only stats path. *)
+let compile_context ?(options = Compile.default_options) ~algorithm device circuit =
+  Pass.execute ~options ~through:`Schedule
+    ~algorithm:(Compile.algorithm_to_string algorithm) device circuit
+
 let compile_and_evaluate ?(options = Compile.default_options) ~algorithm device bench =
   let circuit = bench.make device in
-  let schedule = Compile.run ~options algorithm device circuit in
-  (match Schedule.check schedule with
+  let ctx =
+    Pass.execute ~options ~algorithm:(Compile.algorithm_to_string algorithm) device circuit
+  in
+  (match Schedule.check (Pass.Context.schedule_exn ctx) with
   | Ok () -> ()
   | Error msg ->
     failwith
       (Printf.sprintf "invalid schedule from %s on %s: %s"
          (Compile.algorithm_to_string algorithm) bench.label msg));
-  Schedule.evaluate ~crosstalk_distance:options.Compile.crosstalk_distance schedule
+  Pass.Context.metrics_exn ctx
 
 (* The multicore sweep engine.  Every driver follows the same shape: describe
    the figure/table as a grid of independent cells, evaluate the cells across

@@ -47,16 +47,18 @@ let fig13 () =
         let device = Exp_common.device_of_topology topology in
         let bench = Exp_common.benchmark name n in
         let circuit = bench.Exp_common.make device in
-        let (schedule, stats), elapsed =
-          time_of (fun () -> Compile.run_with_stats device circuit)
+        let ctx, elapsed =
+          time_of (fun () ->
+              Exp_common.compile_context ~algorithm:Compile.Color_dynamic device circuit)
         in
-        let cd = Schedule.evaluate schedule in
+        let cd = Schedule.evaluate (Pass.Context.schedule_exn ctx) in
+        let colors = Pass.Context.stat_int ctx "max_colors_used" in
         let u = Exp_common.compile_and_evaluate ~algorithm:Compile.Uniform device bench in
-        (topology, i, bench, stats, elapsed, u, cd))
+        (topology, i, bench, colors, elapsed, u, cd))
       cells
   in
   List.iter
-    (fun (topology, i, bench, stats, elapsed, u, cd) ->
+    (fun (topology, i, bench, colors, elapsed, u, cd) ->
       if u.Schedule.success > 0.0 && cd.Schedule.success > 0.0 then begin
         let ratio = cd.Schedule.success /. u.Schedule.success in
         ratios := ratio :: !ratios;
@@ -68,7 +70,7 @@ let fig13 () =
           (if i = 0 then topology.Topology.name else "");
           (if i = 0 then Tablefmt.cell_int (Graph.n_edges topology.Topology.graph) else "");
           bench.Exp_common.label;
-          Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
+          Tablefmt.cell_int colors;
           Tablefmt.cell_float ~digits:3 elapsed;
           Exp_common.log_cell u.Schedule.log10_success;
           Exp_common.log_cell cd.Schedule.log10_success;
@@ -93,12 +95,15 @@ let scalability () =
         let n = side * side in
         let device = Exp_common.mesh_device n in
         let circuit = Exp_common.xeb_for_device device in
-        let (_, stats), elapsed = time_of (fun () -> Compile.run_with_stats device circuit) in
+        let ctx, elapsed =
+          time_of (fun () ->
+              Exp_common.compile_context ~algorithm:Compile.Color_dynamic device circuit)
+        in
         [
           Tablefmt.cell_int n;
           Tablefmt.cell_int (Circuit.length circuit);
           Tablefmt.cell_float ~digits:3 elapsed;
-          Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
+          Tablefmt.cell_int (Pass.Context.stat_int ctx "max_colors_used");
         ])
       [ 2; 3; 4; 5; 6; 7; 8; 9 ]
   in

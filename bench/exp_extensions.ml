@@ -70,13 +70,14 @@ let machine_lattices () =
           | _ -> Exp_common.xeb_for_device device
         in
         let u = Schedule.evaluate (Compile.run Compile.Uniform device circuit) in
-        let schedule, stats = Compile.run_with_stats device circuit in
-        let cd = Schedule.evaluate schedule in
-        (topology, i, kind, n, Graph.n_edges (Device.graph device), u, cd, stats))
+        let ctx = Exp_common.compile_context ~algorithm:Compile.Color_dynamic device circuit in
+        let cd = Schedule.evaluate (Pass.Context.schedule_exn ctx) in
+        let colors = Pass.Context.stat_int ctx "max_colors_used" in
+        (topology, i, kind, n, Graph.n_edges (Device.graph device), u, cd, colors))
       cells
   in
   List.iter
-    (fun (topology, i, kind, n, couplings, u, cd, stats) ->
+    (fun (topology, i, kind, n, couplings, u, cd, colors) ->
       Tablefmt.add_row t
         [
           (if i = 0 then topology.Topology.name else "");
@@ -85,7 +86,7 @@ let machine_lattices () =
           kind;
           Exp_common.log_cell u.Schedule.log10_success;
           Exp_common.log_cell cd.Schedule.log10_success;
-          Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
+          Tablefmt.cell_int colors;
         ];
       if i = List.length kinds - 1 then Tablefmt.add_separator t)
     results;

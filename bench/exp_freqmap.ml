@@ -24,10 +24,12 @@ let fig14 () =
   Printf.printf "Idle (parking) frequencies — checkerboard from the 2-coloring:\n%s"
     (grid_of_freqs device idle);
   let circuit = Exp_common.xeb_for_device device in
-  let schedule, stats = Compile.run_with_stats device circuit in
+  let ctx = Exp_common.compile_context ~algorithm:Compile.Color_dynamic device circuit in
+  let schedule = Pass.Context.schedule_exn ctx in
   Printf.printf "ColorDynamic on xeb(16,5): %d steps, max %d colors, min delta %.3f GHz\n"
-    (Schedule.depth schedule) stats.Color_dynamic.max_colors_used
-    stats.Color_dynamic.min_delta;
+    (Schedule.depth schedule)
+    (Pass.Context.stat_int ctx "max_colors_used")
+    (Pass.Context.stat_float ctx "min_delta");
   (* show the busiest step *)
   let busiest =
     List.fold_left

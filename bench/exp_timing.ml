@@ -127,6 +127,16 @@ let emit_json measurements =
         Json.Obj [ ("name", Json.String name); ("ns_per_run", Json.Float ns) ])
       measurements
   in
+  (* Cache effectiveness travels with the timings: a perf regression caused
+     by a cold or thrashing memo table is visible in the same artifact. *)
+  let cache_obj { Freq_alloc.hits; misses; entries } =
+    Json.Obj
+      [ ("hits", Json.Int hits); ("misses", Json.Int misses); ("entries", Json.Int entries) ]
+  in
+  let pair_cache_obj { Crosstalk.hits; misses; entries } =
+    Json.Obj
+      [ ("hits", Json.Int hits); ("misses", Json.Int misses); ("entries", Json.Int entries) ]
+  in
   let doc =
     Json.Obj
       [
@@ -134,6 +144,13 @@ let emit_json measurements =
         ("unit", Json.String "ns/run");
         ("jobs", Json.Int (Pool.default_jobs ()));
         ("benchmarks", Json.List benchmarks);
+        ( "caches",
+          Json.Obj
+            [
+              ("solver", cache_obj (Freq_alloc.solver_cache_stats ()));
+              ("pair", pair_cache_obj (Crosstalk.pair_cache_stats ()));
+              ("smt_solves_total", Json.Int (Fastsc_smt.Smt.find_max_delta_count ()));
+            ] );
       ]
   in
   let oc = open_out path in

@@ -71,6 +71,16 @@ let algorithm_arg =
     & info [ "algorithm"; "a" ] ~docv:"ALG"
         ~doc:"Algorithm: naive/n, gmon/g, uniform/u, static/s, color-dynamic/cd.")
 
+(* Algorithm names come from the scheduler registry; reject unknown ones with
+   exit code 2 and the list of valid names (tested by the CLI suite). *)
+let parse_algorithm alg =
+  match Compile.algorithm_of_string alg with
+  | Some algorithm -> algorithm
+  | None ->
+    Printf.eprintf "fastsc: unknown algorithm %S (valid: %s)\n%!" alg
+      (String.concat " " (List.map Compile.algorithm_to_string Compile.extended_algorithms));
+    exit 2
+
 let jobs_arg =
   Arg.(
     value
@@ -169,13 +179,20 @@ let compile_cmd =
       value & flag
       & info [ "chart" ] ~doc:"Print the schedule's frequency chart (qubits x steps).")
   in
-  let run topology_spec n seed bench alg verbose json draw chart input jobs =
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Emit the pass-manager report as JSON instead of the human-readable output: \
+             per-pass wall-clock, SMT solve counts, solver/pair cache deltas, scheduler \
+             statistics, and the evaluation metrics.")
+  in
+  let run topology_spec n seed bench alg verbose json draw chart trace input jobs =
     match apply_jobs jobs with
     | `Error _ as e -> e
     | `Ok () ->
-    match Compile.algorithm_of_string alg with
-    | None -> `Error (false, Printf.sprintf "unknown algorithm %S" alg)
-    | Some algorithm -> (
+      let algorithm = parse_algorithm alg in
       let external_circuit =
         match input with
         | None -> Ok None
@@ -200,6 +217,17 @@ let compile_cmd =
                 | Some c -> c
                 | None -> make_benchmark bench n seed device
               in
+            if trace then begin
+              let ctx =
+                Pass.execute ~algorithm:(Compile.algorithm_to_string algorithm) device circuit
+              in
+              (match Schedule.check (Pass.Context.schedule_exn ctx) with
+              | Ok () -> ()
+              | Error msg -> failwith ("invalid schedule: " ^ msg));
+              print_endline (Json.to_string (Pass.Context.report ctx));
+              `Ok ()
+            end
+            else begin
             let schedule = Compile.run algorithm device circuit in
             (match Schedule.check schedule with
             | Ok () -> ()
@@ -219,15 +247,16 @@ let compile_cmd =
                   (fun step -> Format.printf "%a@." (Schedule.pp_step device) step)
                   schedule.Schedule.steps
             end;
-            `Ok ()
-            end))
+              `Ok ()
+            end
+            end)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile one benchmark (or a QASM file) with one algorithm")
     Term.(
       ret
         (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ algorithm_arg
-       $ verbose_arg $ json_arg $ draw_arg $ chart_arg $ input_arg $ jobs_arg))
+       $ verbose_arg $ json_arg $ draw_arg $ chart_arg $ trace_arg $ input_arg $ jobs_arg))
 
 (* fastsc qasm *)
 let qasm_cmd =
@@ -301,10 +330,8 @@ let validate_cmd =
     Arg.(value & opt int 300 & info [ "trials" ] ~docv:"K" ~doc:"Monte-Carlo trajectories.")
   in
   let run topology_spec n seed bench alg trials =
-    match Compile.algorithm_of_string alg with
-    | None -> `Error (false, Printf.sprintf "unknown algorithm %S" alg)
-    | Some algorithm ->
-      if n > 10 then `Error (false, "validation simulates exactly; use --n <= 10")
+    let algorithm = parse_algorithm alg in
+    if n > 10 then `Error (false, "validation simulates exactly; use --n <= 10")
       else
         with_device topology_spec n seed (fun device ->
             let circuit = make_benchmark bench n seed device in
@@ -329,18 +356,16 @@ let validate_cmd =
 (* fastsc budget *)
 let budget_cmd =
   let run topology_spec n seed bench alg =
-    match Compile.algorithm_of_string alg with
-    | None -> `Error (false, Printf.sprintf "unknown algorithm %S" alg)
-    | Some algorithm ->
-      with_device topology_spec n seed (fun device ->
-          if not (List.mem bench benchmark_names) then
-            `Error (false, Printf.sprintf "unknown benchmark %S" bench)
-          else begin
-            let circuit = make_benchmark bench n seed device in
-            let schedule = Compile.run algorithm device circuit in
-            Format.printf "%a@." Error_budget.pp (Error_budget.compute schedule);
-            `Ok ()
-          end)
+    let algorithm = parse_algorithm alg in
+    with_device topology_spec n seed (fun device ->
+        if not (List.mem bench benchmark_names) then
+          `Error (false, Printf.sprintf "unknown benchmark %S" bench)
+        else begin
+          let circuit = make_benchmark bench n seed device in
+          let schedule = Compile.run algorithm device circuit in
+          Format.printf "%a@." Error_budget.pp (Error_budget.compute schedule);
+          `Ok ()
+        end)
   in
   Cmd.v
     (Cmd.info "budget" ~doc:"Per-step error budget of a compiled benchmark")

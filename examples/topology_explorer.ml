@@ -46,15 +46,19 @@ let () =
         if by_degree.Mapping.n_swaps < by_identity.Mapping.n_swaps then by_degree
         else by_identity
       in
-      let schedule, stats = Compile.run_with_stats device circuit in
-      let m = Schedule.evaluate schedule in
+      (* naming the algorithm via Compile also links the built-in registry *)
+      let ctx =
+        Pass.execute ~through:`Schedule
+          ~algorithm:(Compile.algorithm_to_string Compile.Color_dynamic) device circuit
+      in
+      let m = Schedule.evaluate (Pass.Context.schedule_exn ctx) in
       Tablefmt.add_row t
         [
           topology.Topology.name;
           Tablefmt.cell_int (Graph.n_edges graph);
           Tablefmt.cell_int (Paths.diameter graph);
           Tablefmt.cell_int routed.Mapping.n_swaps;
-          Tablefmt.cell_int stats.Color_dynamic.max_colors_used;
+          Tablefmt.cell_int (Pass.Context.stat_int ctx "max_colors_used");
           Tablefmt.cell_int m.Schedule.depth;
           Tablefmt.cell_float ~digits:2 m.Schedule.log10_success;
         ])

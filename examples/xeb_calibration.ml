@@ -42,11 +42,17 @@ let () =
   Tablefmt.print t;
   print_endline "(log10 success; ColorDynamic stays near the tunable-coupler bound)\n";
 
-  (* the frequency plan of the compiled circuit's busiest steps *)
-  let schedule, stats = Compile.run_with_stats device (xeb 5) in
+  (* the frequency plan of the compiled circuit's busiest steps; the pipeline
+     context carries any scheduler's per-compilation statistics *)
+  let ctx =
+    Pass.execute ~through:`Schedule
+      ~algorithm:(Compile.algorithm_to_string Compile.Color_dynamic) device (xeb 5)
+  in
+  let schedule = Pass.Context.schedule_exn ctx in
   Printf.printf "ColorDynamic on xeb(16,5): %d steps, %d colors max, min separation %.3f GHz\n\n"
-    (Schedule.depth schedule) stats.Color_dynamic.max_colors_used
-    stats.Color_dynamic.min_delta;
+    (Schedule.depth schedule)
+    (Pass.Context.stat_int ctx "max_colors_used")
+    (Pass.Context.stat_float ctx "min_delta");
   List.iteri
     (fun i step ->
       let pairs = step.Schedule.interacting in

@@ -20,3 +20,7 @@ val run :
   Device.t -> Circuit.t -> Schedule.t
 (** [iterations] is the annealing budget per step (default 400); [seed]
     (default 0) makes the stochastic search reproducible. *)
+
+val scheduler : Pass.scheduler
+(** This algorithm as a registry entry (name ["anneal-dynamic"], aliases
+    ["annealdynamic"]/["ad"]); registered by {!Compile}. *)

@@ -16,3 +16,8 @@ val run : ?residual_coupling:float -> Device.t -> Circuit.t -> Schedule.t
 val edge_classes : Device.t -> ((int * int) * int) list
 (** The coupler-activation classes: Sycamore ABCD tiling on grids, greedy
     proper edge coloring elsewhere.  Each class is a matching. *)
+
+val scheduler : Pass.scheduler
+(** This algorithm as a registry entry (name ["baseline-g"], aliases
+    ["gmon"]/["g"]); reads [residual_coupling] from the pipeline options.
+    Registered by {!Compile}. *)

@@ -15,3 +15,8 @@ val static_assignment :
   ?crosstalk_distance:int -> Device.t -> (int * int -> float) * int
 (** The per-coupling static interaction frequency table and the number of
     colors used; exposed for reporting (Fig 14-style dumps). *)
+
+val scheduler : Pass.scheduler
+(** This algorithm as a registry entry (name ["baseline-s"], aliases
+    ["static"]/["s"]); reads [crosstalk_distance] from the pipeline options.
+    Registered by {!Compile}. *)

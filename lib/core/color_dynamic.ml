@@ -143,3 +143,28 @@ let run ?(crosstalk_distance = 1) ?(max_colors = None) ?(conflict_threshold = 4)
       postponed = !postponed;
       min_delta = !min_delta;
     } )
+
+let pass_stats stats =
+  [
+    ("cycles", Pass.Int stats.cycles);
+    ("max_colors_used", Pass.Int stats.max_colors_used);
+    ("postponed", Pass.Int stats.postponed);
+    ("min_delta", Pass.Float stats.min_delta);
+  ]
+
+let scheduler : Pass.scheduler =
+  (module struct
+    let name = "color-dynamic"
+
+    let aliases = [ "colordynamic"; "cd" ]
+
+    let table1 = true
+
+    let schedule (options : Pass.options) device native =
+      let schedule, stats =
+        run ~crosstalk_distance:options.Pass.crosstalk_distance
+          ~max_colors:options.Pass.max_colors
+          ~conflict_threshold:options.Pass.conflict_threshold device native
+      in
+      (schedule, pass_stats stats)
+  end)

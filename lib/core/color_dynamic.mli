@@ -40,3 +40,15 @@ val run :
     {!Coloring.welsh_powell}, per the paper; swappable for ablations).
     @raise Invalid_argument if [conflict_threshold < 1] or
     [max_colors < Some 1]. *)
+
+val pass_stats : stats -> Pass.stat list
+(** The generic pass-manager form of {!stats} ([cycles], [max_colors_used],
+    [postponed] as [Int]; [min_delta] as [Float]) — what
+    [Pass.Context.stats] carries after a ColorDynamic compilation.  Also
+    reused by {!Gmon_dynamic}. *)
+
+val scheduler : Pass.scheduler
+(** This algorithm as a registry entry (name ["color-dynamic"], aliases
+    ["colordynamic"]/["cd"]); reads [crosstalk_distance], [max_colors] and
+    [conflict_threshold] from the pipeline options and reports
+    {!pass_stats}.  Registered by {!Compile}. *)

@@ -1,29 +1,56 @@
 type algorithm = Naive | Gmon | Uniform | Static | Color_dynamic | Gmon_dynamic | Anneal_dynamic
 
-let all_algorithms = [ Naive; Gmon; Uniform; Static; Color_dynamic ]
+(* Register the built-in zoo.  Referencing each module's [scheduler] here
+   both performs the registration and guarantees the scheduler translation
+   units are linked into any program that touches Compile (module
+   initializers only run for linked units). *)
+let () =
+  List.iter Pass.register
+    [
+      Baseline_naive.scheduler;
+      Baseline_gmon.scheduler;
+      Baseline_uniform.scheduler;
+      Baseline_static.scheduler;
+      Color_dynamic.scheduler;
+      Gmon_dynamic.scheduler;
+      Anneal_dynamic.scheduler;
+    ]
 
-let extended_algorithms = all_algorithms @ [ Gmon_dynamic; Anneal_dynamic ]
+(* The only per-algorithm table left: the closed public variant against the
+   registry's canonical names.  Dispatch, parsing, and the algorithm lists
+   all go through the registry. *)
+let names =
+  [
+    (Naive, "baseline-n");
+    (Gmon, "baseline-g");
+    (Uniform, "baseline-u");
+    (Static, "baseline-s");
+    (Color_dynamic, "color-dynamic");
+    (Gmon_dynamic, "gmon-dynamic");
+    (Anneal_dynamic, "anneal-dynamic");
+  ]
 
-let algorithm_to_string = function
-  | Naive -> "baseline-n"
-  | Gmon -> "baseline-g"
-  | Uniform -> "baseline-u"
-  | Static -> "baseline-s"
-  | Color_dynamic -> "color-dynamic"
-  | Gmon_dynamic -> "gmon-dynamic"
-  | Anneal_dynamic -> "anneal-dynamic"
+let algorithm_to_string algorithm = List.assoc algorithm names
 
-let algorithm_of_string = function
-  | "baseline-n" | "naive" | "n" -> Some Naive
-  | "baseline-g" | "gmon" | "g" -> Some Gmon
-  | "baseline-u" | "uniform" | "u" -> Some Uniform
-  | "baseline-s" | "static" | "s" -> Some Static
-  | "color-dynamic" | "colordynamic" | "cd" -> Some Color_dynamic
-  | "gmon-dynamic" | "gmondynamic" | "gd" -> Some Gmon_dynamic
-  | "anneal-dynamic" | "annealdynamic" | "ad" -> Some Anneal_dynamic
-  | _ -> None
+let algorithm_of_name name =
+  List.find_map (fun (a, n) -> if String.equal n name then Some a else None) names
 
-type options = {
+let registered_algorithms ~all =
+  List.filter_map
+    (fun (module S : Pass.SCHEDULER) ->
+      if all || S.table1 then algorithm_of_name S.name else None)
+    (Pass.schedulers ())
+
+let all_algorithms = registered_algorithms ~all:false
+
+let extended_algorithms = registered_algorithms ~all:true
+
+let algorithm_of_string spec =
+  match Pass.find_scheduler spec with
+  | Some (module S : Pass.SCHEDULER) -> algorithm_of_name S.name
+  | None -> None
+
+type options = Pass.options = {
   decomposition : Decompose.strategy;
   crosstalk_distance : int;
   max_colors : int option;
@@ -34,66 +61,17 @@ type options = {
   router : [ `Greedy | `Lookahead ];
 }
 
-let default_options =
-  {
-    decomposition = Decompose.Hybrid;
-    crosstalk_distance = 1;
-    max_colors = None;
-    conflict_threshold = 2;
-    residual_coupling = 0.0;
-    placement = `Auto;
-    optimize = false;
-    router = `Lookahead;
-  }
+let default_options = Pass.default_options
 
 let prepare options device circuit =
-  let graph = Device.graph device in
-  let route_with placement =
-    match options.router with
-    | `Greedy -> Mapping.route ~placement graph circuit
-    | `Lookahead -> Mapping.route_lookahead ~placement graph circuit
-  in
-  let routed =
-    match options.placement with
-    | `Identity -> route_with (Mapping.identity_placement graph circuit)
-    | `Degree -> route_with (Mapping.degree_placement graph circuit)
-    | `Coherence ->
-      let quality q =
-        1.0 /. ((1.0 /. Device.t1 device q) +. (1.0 /. Device.t2 device q))
-      in
-      route_with (Mapping.quality_placement ~quality graph circuit)
-    | `Auto ->
-      let by_identity = route_with (Mapping.identity_placement graph circuit) in
-      let by_degree = route_with (Mapping.degree_placement graph circuit) in
-      if by_degree.Mapping.n_swaps < by_identity.Mapping.n_swaps then by_degree
-      else by_identity
-  in
-  let native = Decompose.run options.decomposition routed.Mapping.circuit in
-  if options.optimize then Optimize.run native else native
+  Pass.Context.native_exn
+    (Pass.run_pipeline Pass.prepare_passes (Pass.Context.create ~options device circuit))
 
 let schedule_native options algorithm device native =
-  match algorithm with
-  | Naive -> Baseline_naive.run device native
-  | Gmon -> Baseline_gmon.run ~residual_coupling:options.residual_coupling device native
-  | Uniform ->
-    Baseline_uniform.run ~crosstalk_distance:options.crosstalk_distance device native
-  | Static -> Baseline_static.run ~crosstalk_distance:options.crosstalk_distance device native
-  | Color_dynamic ->
-    fst
-      (Color_dynamic.run ~crosstalk_distance:options.crosstalk_distance
-         ~max_colors:options.max_colors ~conflict_threshold:options.conflict_threshold device
-         native)
-  | Gmon_dynamic ->
-    fst
-      (Gmon_dynamic.run ~crosstalk_distance:options.crosstalk_distance
-         ~max_colors:options.max_colors ~conflict_threshold:options.conflict_threshold
-         ~residual_coupling:options.residual_coupling device native)
-  | Anneal_dynamic -> Anneal_dynamic.run device native
+  let (module S : Pass.SCHEDULER) = Pass.scheduler_exn (algorithm_to_string algorithm) in
+  fst (S.schedule options device native)
 
 let run ?(options = default_options) algorithm device circuit =
-  schedule_native options algorithm device (prepare options device circuit)
-
-let run_with_stats ?(options = default_options) device circuit =
-  let native = prepare options device circuit in
-  Color_dynamic.run ~crosstalk_distance:options.crosstalk_distance
-    ~max_colors:options.max_colors ~conflict_threshold:options.conflict_threshold device native
+  Pass.Context.schedule_exn
+    (Pass.execute ~options ~through:`Schedule ~algorithm:(algorithm_to_string algorithm)
+       device circuit)

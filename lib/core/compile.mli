@@ -5,7 +5,16 @@
     allowed), routes it onto the device ({!Fastsc_quantum.Mapping}),
     decomposes it into native gates ({!Fastsc_quantum.Decompose}), and
     schedules it with the selected algorithm.  All evaluation figures of the
-    paper drive this entry point. *)
+    paper drive this entry point.
+
+    Since the pass-manager refactor this module is a thin wrapper over
+    {!Pass}: the stages run as an instrumented pipeline, the algorithms live
+    in the {!Pass} scheduler registry (this module registers the seven
+    built-ins at load time), and the algorithm lists and string parsing
+    derive from that registry.  Callers who need intermediate artifacts,
+    per-pass timings or per-compilation scheduler statistics (what
+    [run_with_stats] used to special-case for ColorDynamic) use
+    {!Pass.execute} and read the returned context. *)
 
 type algorithm =
   | Naive  (** Baseline N. *)
@@ -21,16 +30,20 @@ type algorithm =
           annealing, Snake-optimizer style. *)
 
 val all_algorithms : algorithm list
-(** The five algorithms of Table I (evaluation columns). *)
+(** The five algorithms of Table I (evaluation columns) — the registered
+    schedulers with [table1 = true], in registration order. *)
 
 val extended_algorithms : algorithm list
-(** Table I plus the {!Gmon_dynamic} extension. *)
+(** Every registered built-in, in registration order (Table I plus the
+    extensions). *)
 
 val algorithm_to_string : algorithm -> string
+(** The canonical registry name (e.g. ["color-dynamic"]). *)
 
 val algorithm_of_string : string -> algorithm option
+(** Parse a canonical name or any registry alias (e.g. ["cd"]). *)
 
-type options = {
+type options = Pass.options = {
   decomposition : Decompose.strategy;  (** Default [Hybrid] (§V-B5). *)
   crosstalk_distance : int;  (** The [d] of G_x^(d); default 1. *)
   max_colors : int option;  (** Per-step color cap (Fig 11); default none. *)
@@ -52,20 +65,19 @@ type options = {
           lookahead scoring (default; the `ablate-router` bench measures the
           difference). *)
 }
+(** Pipeline options — the same record as {!Pass.options}, re-exported so
+    existing [Compile.default_options]-based code keeps working. *)
 
 val default_options : options
 
 val prepare : options -> Device.t -> Circuit.t -> Circuit.t
-(** Route + decompose: returns the physical native-gate circuit every
+(** Route + decompose (the [place -> route -> decompose -> optimize] prefix
+    of the pipeline): returns the physical native-gate circuit every
     scheduler consumes.  Exposed so ablations can share one preparation. *)
 
 val schedule_native : options -> algorithm -> Device.t -> Circuit.t -> Schedule.t
-(** Schedule an already-prepared (routed, native) circuit. *)
+(** Schedule an already-prepared (routed, native) circuit with the registered
+    scheduler for [algorithm]. *)
 
 val run : ?options:options -> algorithm -> Device.t -> Circuit.t -> Schedule.t
-(** The full pipeline. *)
-
-val run_with_stats :
-  ?options:options -> Device.t -> Circuit.t -> Schedule.t * Color_dynamic.stats
-(** ColorDynamic with its per-compilation statistics (color counts for
-    Fig 13). *)
+(** The full pipeline ({!Pass.execute} through the schedule stage). *)

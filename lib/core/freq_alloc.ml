@@ -52,7 +52,24 @@ let solve_separated_uncached ~lo ~hi ~alpha ~order n =
   done;
   match Fastsc_smt.Smt.find_max_delta ?order problem with
   | Some (delta, freqs) -> { freqs; delta }
-  | None -> failwith "Freq_alloc: no feasible frequency assignment"
+  | None ->
+    (* find_max_delta only fails when even delta = 0 is infeasible, so that
+       is the "best delta tried".  Spell the whole problem out: with
+       registry-added algorithms driving this solver, "no feasible
+       assignment" alone is undiagnosable. *)
+    failwith
+      (Printf.sprintf
+         "Freq_alloc: no feasible frequency assignment for %d color%s in band [%.4f, %.4f] \
+          GHz with sideband offset %.4f GHz%s (best delta tried: 0 — the band cannot hold \
+          the colors at any separation)"
+         n
+         (if n = 1 then "" else "s")
+         lo hi alpha
+         (match order with
+         | None -> ""
+         | Some order ->
+           Printf.sprintf ", placement order [%s]"
+             (String.concat "; " (List.map string_of_int order))))
 
 let solve_separated ~lo ~hi ~alpha ~order n =
   let key = { k_n = n; k_lo = lo; k_hi = hi; k_alpha = alpha; k_order = order } in

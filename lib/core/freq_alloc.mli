@@ -36,7 +36,10 @@ val idle : Device.t -> Coloring.coloring * assignment
 (** Color the connectivity graph (2 colors when bipartite, Welsh–Powell
     otherwise) and solve for parking frequencies.
     @raise Failure if the solver finds no feasible assignment (cannot happen
-    for sane partitions; kept as a loud invariant). *)
+    for sane partitions; kept as a loud invariant).  The message carries the
+    full problem description — color count, band, sideband offset, placement
+    order, and the best delta tried — so infeasible configurations coming
+    from registry-added algorithms are diagnosable. *)
 
 val idle_per_qubit : Device.t -> float array
 (** Convenience over {!idle}: the parking frequency of every qubit. *)

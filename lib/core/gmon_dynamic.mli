@@ -19,3 +19,9 @@ val run :
   Device.t -> Circuit.t -> Schedule.t * Color_dynamic.stats
 (** Same parameters as {!Color_dynamic.run} plus the coupler leakage
     [residual_coupling] (default 0). *)
+
+val scheduler : Pass.scheduler
+(** This algorithm as a registry entry (name ["gmon-dynamic"], aliases
+    ["gmondynamic"]/["gd"]); same options as ColorDynamic plus
+    [residual_coupling], reporting {!Color_dynamic.pass_stats}.  Registered
+    by {!Compile}. *)

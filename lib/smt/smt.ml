@@ -224,7 +224,18 @@ let widest_range t =
   done;
   !w
 
+(* One binary search = one "solve" for instrumentation purposes: the compiler
+   passes report how many frequency-assignment searches a compilation paid
+   for (the memoized Freq_alloc layer makes the delta between passes the
+   interesting number).  Atomic so pool domains can solve concurrently. *)
+let solve_counter = Atomic.make 0
+
+let find_max_delta_count () = Atomic.get solve_counter
+
+let reset_find_max_delta_count () = Atomic.set solve_counter 0
+
 let find_max_delta ?order ?(tolerance = 1e-4) ?delta_hi t =
+  Atomic.incr solve_counter;
   let delta_hi = match delta_hi with Some d -> d | None -> Float.max tolerance (widest_range t) in
   match solve ?order t ~delta:0.0 with
   | None -> None

@@ -73,6 +73,14 @@ val verify : t -> delta:float -> float array -> bool
 val check : t -> delta:float -> float array -> bool
 (** Alias of {!verify}, kept for existing callers. *)
 
+val find_max_delta_count : unit -> int
+(** Process-wide count of {!find_max_delta} invocations (each one full binary
+    search).  Atomic, so safe to read while pool domains solve; the compiler's
+    pass instrumentation reports per-pass deltas of this counter. *)
+
+val reset_find_max_delta_count : unit -> unit
+(** Zero the {!find_max_delta_count} counter (tests, cold-cost measurements). *)
+
 val find_max_delta :
   ?order:int list -> ?tolerance:float -> ?delta_hi:float -> t ->
   (float * float array) option

@@ -161,13 +161,36 @@ let test_static_uses_fixed_table () =
   check_float "deterministic" f1 f2
 
 let test_algorithm_string_roundtrip () =
+  (* every registered algorithm, not just the Table I five *)
   List.iter
     (fun a ->
       match Compile.algorithm_of_string (Compile.algorithm_to_string a) with
       | Some a' -> check_true "roundtrip" (a = a')
       | None -> Alcotest.fail "parse failed")
-    Compile.all_algorithms;
+    Compile.extended_algorithms;
+  check_true "extended covers all" (List.length Compile.extended_algorithms = 7);
   check_true "unknown rejected" (Compile.algorithm_of_string "nonsense" = None)
+
+let test_registry_names_and_aliases () =
+  (* the registry agrees with the Compile wrapper: each canonical name
+     resolves, and every alias resolves to the same scheduler *)
+  List.iter
+    (fun a ->
+      let name = Compile.algorithm_to_string a in
+      match Pass.find_scheduler name with
+      | None -> Alcotest.failf "%s not in registry" name
+      | Some (module S : Pass.SCHEDULER) ->
+        check_true "canonical name matches" (String.equal S.name name);
+        List.iter
+          (fun alias ->
+            match Pass.find_scheduler alias with
+            | Some (module A : Pass.SCHEDULER) ->
+              check_true (alias ^ " resolves to " ^ name) (String.equal A.name name)
+            | None -> Alcotest.failf "alias %s of %s does not resolve" alias name)
+          S.aliases)
+    Compile.extended_algorithms;
+  check_int "registry holds the seven built-ins" 7
+    (List.length (Pass.scheduler_names ()))
 
 let test_decomposition_strategies_compile () =
   let d = device () in
@@ -212,6 +235,7 @@ let suite =
     Alcotest.test_case "colordynamic stats" `Quick test_colordynamic_stats;
     Alcotest.test_case "static fixed table" `Quick test_static_uses_fixed_table;
     Alcotest.test_case "algorithm string roundtrip" `Quick test_algorithm_string_roundtrip;
+    Alcotest.test_case "registry names and aliases" `Quick test_registry_names_and_aliases;
     Alcotest.test_case "decomposition strategies" `Quick test_decomposition_strategies_compile;
     Alcotest.test_case "identity placement" `Quick test_identity_placement_option;
     prop_all_algorithms_all_seeds;

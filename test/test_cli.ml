@@ -2,6 +2,7 @@
    in dune, so it is always built first and found relative to the test's
    working directory inside _build). *)
 open Helpers
+open Fastsc_core
 
 let binary = Filename.concat (Filename.concat ".." "bin") "fastsc.exe"
 
@@ -101,10 +102,36 @@ let test_calibrate_command () =
 let test_bad_arguments () =
   let code, _ = run_capture "compile --bench nonsense" in
   check_true "nonzero exit" (code <> 0);
-  let code, _ = run_capture "compile --algorithm nonsense" in
-  check_true "nonzero exit" (code <> 0);
   let code, _ = run_capture "device --topology moebius" in
   check_true "nonzero exit" (code <> 0)
+
+let test_unknown_algorithm_exit_2 () =
+  List.iter
+    (fun sub ->
+      let code, text = run_capture (sub ^ " --bench bv --size 4 --algorithm nonsense") in
+      check_int (sub ^ ": exit code 2") 2 code;
+      check_true "names the bad algorithm" (contains text "nonsense");
+      (* the error lists every registered algorithm *)
+      List.iter
+        (fun a ->
+          let name = Compile.algorithm_to_string a in
+          check_true (sub ^ " error lists " ^ name) (contains text name))
+        Compile.extended_algorithms)
+    [ "compile"; "validate"; "budget" ]
+
+let test_compile_trace () =
+  let code, text = run_capture "compile --bench bv --size 4 --algorithm cd --trace" in
+  check_int "exit 0" 0 code;
+  check_true "names the algorithm" (contains text "\"algorithm\": \"color-dynamic\"");
+  (* one report object per executed pass, schedule included *)
+  List.iter
+    (fun pass -> check_true ("trace covers " ^ pass) (contains text ("\"" ^ pass ^ "\"")))
+    [ "place"; "route"; "decompose"; "optimize"; "schedule"; "evaluate" ];
+  check_true "per-pass solver cache deltas" (contains text "\"solver_cache\"");
+  check_true "pair cache deltas" (contains text "\"pair_cache\"");
+  check_true "scheduler stats travel in the report" (contains text "\"max_colors_used\"");
+  check_true "process-wide cache counters" (contains text "\"smt_solves_total\"");
+  check_true "metrics included" (contains text "\"log10_success\"")
 
 let suite =
   [
@@ -122,4 +149,6 @@ let suite =
     Alcotest.test_case "budget" `Quick test_budget_command;
     Alcotest.test_case "calibrate" `Quick test_calibrate_command;
     Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
+    Alcotest.test_case "unknown algorithm exit 2" `Quick test_unknown_algorithm_exit_2;
+    Alcotest.test_case "compile --trace" `Quick test_compile_trace;
   ]

@@ -161,6 +161,21 @@ let test_colordynamic_xeb16_reuses_cache () =
     warm.Schedule.decoherence_error;
   check_int "depth unchanged" cold.Schedule.depth warm.Schedule.depth
 
+let test_infeasible_failure_is_diagnostic () =
+  (* a NaN band bound poisons every placement comparison, so even delta = 0
+     is infeasible; the Failure must spell out the whole problem — color
+     count, band, sideband offset, placement order, best delta tried — not
+     just "no feasible assignment" *)
+  let d = device () in
+  match Freq_alloc.interaction ~lo:Float.nan d ~n_colors:2 ~multiplicity:[| 1; 1 |] with
+  | _ -> Alcotest.fail "nan band should be infeasible"
+  | exception Failure msg ->
+    check_true "counts the colors" (contains msg "2 colors");
+    check_true "names the band" (contains msg "band [nan");
+    check_true "names the sideband offset" (contains msg "sideband offset");
+    check_true "carries the placement order" (contains msg "placement order");
+    check_true "carries the best delta tried" (contains msg "best delta tried")
+
 let prop_interaction_separations_hold =
   qcheck_case ~count:50 "all pairwise separations honored" QCheck.(int_range 1 6) (fun n ->
       let d = device () in
@@ -194,5 +209,7 @@ let suite =
       test_cache_keys_distinguish_problems;
     Alcotest.test_case "colordynamic xeb16 reuses cache" `Quick
       test_colordynamic_xeb16_reuses_cache;
+    Alcotest.test_case "infeasible failure is diagnostic" `Quick
+      test_infeasible_failure_is_diagnostic;
     prop_interaction_separations_hold;
   ]

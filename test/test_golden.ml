@@ -1,16 +1,16 @@
 (* Golden-output regression: the sweep engine's determinism contract says
    stdout is byte-identical at any job count (docs/MANUAL.md, Exp_common).
-   Run the paper's worked example (fig6) through the real bench driver at
-   jobs=1 and jobs=4 and diff the bytes. *)
+   Run the paper's worked example (fig6) and the decomposition study (fig7)
+   through the real bench driver at jobs=1 and jobs=4 and diff the bytes. *)
 open Helpers
 
 let bench = Filename.concat (Filename.concat ".." "bench") "main.exe"
 
-let run_fig6 jobs =
+let run_driver driver jobs =
   let out_file = Filename.temp_file "fastsc_golden" ".out" in
   (* stderr is not part of the contract (it carries the jobs note) *)
   let command =
-    Printf.sprintf "%s --jobs %d fig6 > %s 2> /dev/null" (Filename.quote bench) jobs
+    Printf.sprintf "%s --jobs %d %s > %s 2> /dev/null" (Filename.quote bench) jobs driver
       (Filename.quote out_file)
   in
   let code = Sys.command command in
@@ -18,23 +18,30 @@ let run_fig6 jobs =
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
   Sys.remove out_file;
-  check_int (Printf.sprintf "fig6 --jobs %d exits 0" jobs) 0 code;
+  check_int (Printf.sprintf "%s --jobs %d exits 0" driver jobs) 0 code;
   text
 
 let test_fig6_byte_identical () =
-  let serial = run_fig6 1 in
-  let parallel = run_fig6 4 in
+  let serial = run_driver "fig6" 1 in
+  let parallel = run_driver "fig6" 4 in
   check_true "fig6 produced the worked example" (contains serial "Fig 6");
   check_true "schedules printed" (contains serial "ColorDynamic");
   check_true "stdout byte-identical at jobs=1 and jobs=4" (String.equal serial parallel)
 
 let test_fig6_stable_across_repeats () =
-  let a = run_fig6 4 in
-  let b = run_fig6 4 in
+  let a = run_driver "fig6" 4 in
+  let b = run_driver "fig6" 4 in
   check_true "repeat runs are byte-identical" (String.equal a b)
+
+let test_fig7_byte_identical () =
+  let serial = run_driver "fig7" 1 in
+  let parallel = run_driver "fig7" 4 in
+  check_true "fig7 produced the decomposition study" (contains serial "Fig 7");
+  check_true "stdout byte-identical at jobs=1 and jobs=4" (String.equal serial parallel)
 
 let suite =
   [
     Alcotest.test_case "fig6 jobs=1 vs jobs=4" `Quick test_fig6_byte_identical;
     Alcotest.test_case "fig6 repeatability" `Quick test_fig6_stable_across_repeats;
+    Alcotest.test_case "fig7 jobs=1 vs jobs=4" `Quick test_fig7_byte_identical;
   ]
