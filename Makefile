@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench examples check clean
+.PHONY: all build test bench bench-sim examples check clean
 
 all: build
 
@@ -14,6 +14,17 @@ test:
 
 bench:
 	$(DUNE) exec bench/main.exe
+
+# Simulation-kernel microbenchmark (flat vs boxed, trajectories, density).
+# The env knobs shrink it to a smoke run for `make check`; unset them for
+# real measurements (defaults: 16 qubits, 200 trials, 300 ms budget).
+bench-sim:
+	$(DUNE) build bench/main.exe
+	FASTSC_SIM_QUBITS=$${FASTSC_SIM_QUBITS:-6} \
+	FASTSC_SIM_TRIALS=$${FASTSC_SIM_TRIALS:-20} \
+	FASTSC_SIM_DENSITY_QUBITS=$${FASTSC_SIM_DENSITY_QUBITS:-4} \
+	FASTSC_SIM_BUDGET_MS=$${FASTSC_SIM_BUDGET_MS:-20} \
+	$(DUNE) exec bench/main.exe -- sim > /dev/null
 
 # Smoke-run every worked example (examples/*.ml are documentation that must
 # keep compiling AND running); output is discarded, a non-zero exit fails.
@@ -33,6 +44,7 @@ check:
 	FASTSC_JOBS=1 $(DUNE) runtest --force
 	FASTSC_JOBS=4 $(DUNE) runtest --force
 	$(MAKE) examples
+	$(MAKE) bench-sim
 
 clean:
 	$(DUNE) clean

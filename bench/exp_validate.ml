@@ -5,7 +5,14 @@
 let validate () =
   Exp_common.heading
     "Heuristic validation (§VI-C): eq 4 estimate vs noisy simulation";
-  let trials = 300 in
+  (* Trial count is an env knob so the golden suite can run this driver
+     cheaply (and diff stdout across job counts); the default keeps the
+     paper-scale behaviour. *)
+  let trials =
+    match Option.bind (Sys.getenv_opt "FASTSC_VALIDATE_TRIALS") int_of_string_opt with
+    | Some t when t > 0 -> t
+    | _ -> 300
+  in
   let cases =
     [
       ("bv(4)", 4, fun (_ : Device.t) -> Bv.circuit ~n:4 ());

@@ -1,6 +1,6 @@
 let evolve h psi0 t =
   let u = Eig.expm_hermitian h t in
-  Matrix.mat_vec u psi0
+  Fmatrix.mat_vec (Fmatrix.of_matrix u) psi0
 
 let basis_state dim k =
   if k < 0 || k >= dim then invalid_arg "Evolution.basis_state: index out of range";

@@ -1,63 +1,123 @@
-type t = { n : int; rho : Matrix.t }
+(* The density matrix lives in a flat-float Fmatrix (split re/im, row-major);
+   the superoperator kernels below run allocation-free over its raw buffers
+   with gate entries hoisted out of the loops, mirroring the Statevector
+   kernels.  apply_kraus1 keeps two scratch planes on the state and reuses
+   them across channel applications instead of copying full matrices per
+   Kraus operator. *)
+
+type scratch = {
+  orig_re : float array;
+  orig_im : float array;
+  acc_re : float array;
+  acc_im : float array;
+}
+
+type t = { n : int; rho : Fmatrix.t; mutable scratch : scratch option }
 
 let create n =
   if n < 1 || n > 10 then invalid_arg "Density.create: supported range is 1..10 qubits";
   let dim = 1 lsl n in
-  let rho = Matrix.create dim dim in
-  Matrix.set rho 0 0 Complex.one;
-  { n; rho }
+  let rho = Fmatrix.create dim dim in
+  Fmatrix.set rho 0 0 Complex.one;
+  { n; rho; scratch = None }
+
+let dim t = 1 lsl t.n
 
 let of_statevector sv =
   let n = Statevector.n_qubits sv in
   if n > 10 then invalid_arg "Density.of_statevector: too many qubits";
-  let amps = Statevector.amplitudes sv in
-  let dim = Array.length amps in
-  let rho = Matrix.init dim dim (fun i j -> Complex.mul amps.(i) (Complex.conj amps.(j))) in
-  { n; rho }
+  let ar, ai = Statevector.buffers sv in
+  let d = 1 lsl n in
+  let rho = Fmatrix.create d d in
+  let re, im = Fmatrix.buffers rho in
+  for i = 0 to d - 1 do
+    let row = i * d in
+    let air = ar.(i) and aii = ai.(i) in
+    for j = 0 to d - 1 do
+      (* a_i * conj(a_j) *)
+      re.(row + j) <- (air *. ar.(j)) +. (aii *. ai.(j));
+      im.(row + j) <- (aii *. ar.(j)) -. (air *. ai.(j))
+    done
+  done;
+  { n; rho; scratch = None }
 
 let n_qubits t = t.n
 
-let dim t = 1 lsl t.n
+let trace t =
+  let d = dim t in
+  let re, _ = Fmatrix.buffers t.rho in
+  let acc = ref 0.0 in
+  for k = 0 to d - 1 do
+    acc := !acc +. re.((k * d) + k)
+  done;
+  !acc
 
-let trace t = (Matrix.trace t.rho).Complex.re
+let purity t =
+  (* Re(Tr rho^2) = sum_ij Re(rho_ij rho_ji), without assuming hermiticity. *)
+  let d = dim t in
+  let re, im = Fmatrix.buffers t.rho in
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      acc := !acc +. ((re.((i * d) + j) *. re.((j * d) + i)) -. (im.((i * d) + j) *. im.((j * d) + i)))
+    done
+  done;
+  !acc
 
-let purity t = (Matrix.trace (Matrix.mul t.rho t.rho)).Complex.re
-
-let population t k = (Matrix.get t.rho k k).Complex.re
+let population t k =
+  let re, _ = Fmatrix.buffers t.rho in
+  re.((k * dim t) + k)
 
 let check_qubit t q =
   if q < 0 || q >= t.n then invalid_arg (Printf.sprintf "Density: qubit %d out of range" q)
 
+let hoist1 m =
+  let e r c = Matrix.get m r c in
+  ( (e 0 0).Complex.re, (e 0 0).Complex.im, (e 0 1).Complex.re, (e 0 1).Complex.im,
+    (e 1 0).Complex.re, (e 1 0).Complex.im, (e 1 1).Complex.re, (e 1 1).Complex.im )
+
 (* rho <- (M on qubit q) rho : mixes row pairs *)
 let left_mul1 t m q =
   check_qubit t q;
-  let mask = 1 lsl q in
+  let m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i = hoist1 m in
   let d = dim t in
-  let m00 = Matrix.get m 0 0 and m01 = Matrix.get m 0 1 in
-  let m10 = Matrix.get m 1 0 and m11 = Matrix.get m 1 1 in
-  for i = 0 to d - 1 do
-    if i land mask = 0 then
-      for j = 0 to d - 1 do
-        let a = Matrix.get t.rho i j and b = Matrix.get t.rho (i lor mask) j in
-        Matrix.set t.rho i j (Complex.add (Complex.mul m00 a) (Complex.mul m01 b));
-        Matrix.set t.rho (i lor mask) j (Complex.add (Complex.mul m10 a) (Complex.mul m11 b))
-      done
+  let re, im = Fmatrix.buffers t.rho in
+  let mask = 1 lsl q in
+  let low = mask - 1 in
+  for k = 0 to (d lsr 1) - 1 do
+    let i0 = ((k lsr q) lsl (q + 1)) lor (k land low) in
+    let r0 = i0 * d and r1 = (i0 lor mask) * d in
+    for j = 0 to d - 1 do
+      let ar = re.(r0 + j) and ai = im.(r0 + j) in
+      let br = re.(r1 + j) and bi = im.(r1 + j) in
+      re.(r0 + j) <- (m00r *. ar) -. (m00i *. ai) +. ((m01r *. br) -. (m01i *. bi));
+      im.(r0 + j) <- (m00r *. ai) +. (m00i *. ar) +. ((m01r *. bi) +. (m01i *. br));
+      re.(r1 + j) <- (m10r *. ar) -. (m10i *. ai) +. ((m11r *. br) -. (m11i *. bi));
+      im.(r1 + j) <- (m10r *. ai) +. (m10i *. ar) +. ((m11r *. bi) +. (m11i *. br))
+    done
   done
 
 (* rho <- rho (M on qubit q) : mixes column pairs *)
 let right_mul1 t m q =
   check_qubit t q;
-  let mask = 1 lsl q in
+  let m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i = hoist1 m in
   let d = dim t in
-  let m00 = Matrix.get m 0 0 and m01 = Matrix.get m 0 1 in
-  let m10 = Matrix.get m 1 0 and m11 = Matrix.get m 1 1 in
-  for j = 0 to d - 1 do
-    if j land mask = 0 then
-      for i = 0 to d - 1 do
-        let a = Matrix.get t.rho i j and b = Matrix.get t.rho i (j lor mask) in
-        Matrix.set t.rho i j (Complex.add (Complex.mul a m00) (Complex.mul b m10));
-        Matrix.set t.rho i (j lor mask) (Complex.add (Complex.mul a m01) (Complex.mul b m11))
-      done
+  let re, im = Fmatrix.buffers t.rho in
+  let mask = 1 lsl q in
+  let low = mask - 1 in
+  for k = 0 to (d lsr 1) - 1 do
+    let j0 = ((k lsr q) lsl (q + 1)) lor (k land low) in
+    let j1 = j0 lor mask in
+    for i = 0 to d - 1 do
+      let row = i * d in
+      let ar = re.(row + j0) and ai = im.(row + j0) in
+      let br = re.(row + j1) and bi = im.(row + j1) in
+      (* a*m00 + b*m10  |  a*m01 + b*m11 *)
+      re.(row + j0) <- (ar *. m00r) -. (ai *. m00i) +. ((br *. m10r) -. (bi *. m10i));
+      im.(row + j0) <- (ar *. m00i) +. (ai *. m00r) +. ((br *. m10i) +. (bi *. m10r));
+      re.(row + j1) <- (ar *. m01r) -. (ai *. m01i) +. ((br *. m11r) -. (bi *. m11i));
+      im.(row + j1) <- (ar *. m01i) +. (ai *. m01r) +. ((br *. m11i) +. (bi *. m11r))
+    done
   done
 
 let apply_unitary1 t u q =
@@ -66,46 +126,92 @@ let apply_unitary1 t u q =
   left_mul1 t u q;
   right_mul1 t (Matrix.adjoint u) q
 
-let pair_indices hi lo i = (i, i lor lo, i lor hi, i lor hi lor lo)
+let hoist2 m =
+  Array.init 16 (fun k ->
+      let z = Matrix.get m (k / 4) (k mod 4) in
+      (z.Complex.re, z.Complex.im))
 
 let left_mul2 t m q_first q_second =
   let hi = 1 lsl q_first and lo = 1 lsl q_second in
   let d = dim t in
-  for i = 0 to d - 1 do
-    if i land hi = 0 && i land lo = 0 then
-      for j = 0 to d - 1 do
-        let i0, i1, i2, i3 = pair_indices hi lo i in
-        let rows = [| i0; i1; i2; i3 |] in
-        let old = Array.map (fun r -> Matrix.get t.rho r j) rows in
-        Array.iteri
-          (fun r row ->
-            let acc = ref Complex.zero in
-            for c = 0 to 3 do
-              acc := Complex.add !acc (Complex.mul (Matrix.get m r c) old.(c))
-            done;
-            Matrix.set t.rho row j !acc)
-          rows
-      done
+  let g = hoist2 m in
+  let re, im = Fmatrix.buffers t.rho in
+  let p = min q_first q_second and r = max q_first q_second in
+  let lowp = (1 lsl p) - 1 and lowr = (1 lsl r) - 1 in
+  for k = 0 to (d lsr 2) - 1 do
+    let s = ((k lsr p) lsl (p + 1)) lor (k land lowp) in
+    let i00 = ((s lsr r) lsl (r + 1)) lor (s land lowr) in
+    let r0 = i00 * d
+    and r1 = (i00 lor lo) * d
+    and r2 = (i00 lor hi) * d
+    and r3 = (i00 lor hi lor lo) * d in
+    for j = 0 to d - 1 do
+      let a0r = re.(r0 + j) and a0i = im.(r0 + j) in
+      let a1r = re.(r1 + j) and a1i = im.(r1 + j) in
+      let a2r = re.(r2 + j) and a2i = im.(r2 + j) in
+      let a3r = re.(r3 + j) and a3i = im.(r3 + j) in
+      let out row base =
+        let g0r, g0i = g.(row * 4)
+        and g1r, g1i = g.((row * 4) + 1)
+        and g2r, g2i = g.((row * 4) + 2)
+        and g3r, g3i = g.((row * 4) + 3) in
+        re.(base + j) <-
+          (g0r *. a0r) -. (g0i *. a0i)
+          +. ((g1r *. a1r) -. (g1i *. a1i))
+          +. ((g2r *. a2r) -. (g2i *. a2i))
+          +. ((g3r *. a3r) -. (g3i *. a3i));
+        im.(base + j) <-
+          (g0r *. a0i) +. (g0i *. a0r)
+          +. ((g1r *. a1i) +. (g1i *. a1r))
+          +. ((g2r *. a2i) +. (g2i *. a2r))
+          +. ((g3r *. a3i) +. (g3i *. a3r))
+      in
+      out 0 r0;
+      out 1 r1;
+      out 2 r2;
+      out 3 r3
+    done
   done
 
 let right_mul2 t m q_first q_second =
   let hi = 1 lsl q_first and lo = 1 lsl q_second in
   let d = dim t in
-  for j = 0 to d - 1 do
-    if j land hi = 0 && j land lo = 0 then
-      for i = 0 to d - 1 do
-        let j0, j1, j2, j3 = pair_indices hi lo j in
-        let cols = [| j0; j1; j2; j3 |] in
-        let old = Array.map (fun c -> Matrix.get t.rho i c) cols in
-        Array.iteri
-          (fun c col ->
-            let acc = ref Complex.zero in
-            for k = 0 to 3 do
-              acc := Complex.add !acc (Complex.mul old.(k) (Matrix.get m k c))
-            done;
-            Matrix.set t.rho i col !acc)
-          cols
-      done
+  let g = hoist2 m in
+  let re, im = Fmatrix.buffers t.rho in
+  let p = min q_first q_second and r = max q_first q_second in
+  let lowp = (1 lsl p) - 1 and lowr = (1 lsl r) - 1 in
+  for k = 0 to (d lsr 2) - 1 do
+    let s = ((k lsr p) lsl (p + 1)) lor (k land lowp) in
+    let j00 = ((s lsr r) lsl (r + 1)) lor (s land lowr) in
+    let j0 = j00 and j1 = j00 lor lo and j2 = j00 lor hi and j3 = j00 lor hi lor lo in
+    for i = 0 to d - 1 do
+      let row = i * d in
+      let a0r = re.(row + j0) and a0i = im.(row + j0) in
+      let a1r = re.(row + j1) and a1i = im.(row + j1) in
+      let a2r = re.(row + j2) and a2i = im.(row + j2) in
+      let a3r = re.(row + j3) and a3i = im.(row + j3) in
+      let out col j =
+        (* sum_k old_k * m[k][col] *)
+        let g0r, g0i = g.(col)
+        and g1r, g1i = g.(4 + col)
+        and g2r, g2i = g.(8 + col)
+        and g3r, g3i = g.(12 + col) in
+        re.(row + j) <-
+          (a0r *. g0r) -. (a0i *. g0i)
+          +. ((a1r *. g1r) -. (a1i *. g1i))
+          +. ((a2r *. g2r) -. (a2i *. g2i))
+          +. ((a3r *. g3r) -. (a3i *. g3i));
+        im.(row + j) <-
+          (a0r *. g0i) +. (a0i *. g0r)
+          +. ((a1r *. g1i) +. (a1i *. g1r))
+          +. ((a2r *. g2i) +. (a2i *. g2r))
+          +. ((a3r *. g3i) +. (a3i *. g3r))
+      in
+      out 0 j0;
+      out 1 j1;
+      out 2 j2;
+      out 3 j3
+    done
   done
 
 let apply_unitary2 t u q_first q_second =
@@ -132,27 +238,47 @@ let check_completeness kraus =
   if not (Matrix.approx_equal ~tol:1e-6 sum (Matrix.identity 2)) then
     invalid_arg "Density.apply_kraus1: Kraus operators do not sum to identity"
 
+let scratch t =
+  match t.scratch with
+  | Some s -> s
+  | None ->
+    let len = dim t * dim t in
+    let s =
+      {
+        orig_re = Array.make len 0.0;
+        orig_im = Array.make len 0.0;
+        acc_re = Array.make len 0.0;
+        acc_im = Array.make len 0.0;
+      }
+    in
+    t.scratch <- Some s;
+    s
+
 let apply_kraus1 t kraus q =
   check_qubit t q;
   check_completeness kraus;
-  let original = Matrix.copy t.rho in
-  let total = Matrix.create (dim t) (dim t) in
-  let accumulate k =
-    let term = { t with rho = Matrix.copy original } in
-    left_mul1 term k q;
-    right_mul1 term (Matrix.adjoint k) q;
-    for i = 0 to dim t - 1 do
-      for j = 0 to dim t - 1 do
-        Matrix.set total i j (Complex.add (Matrix.get total i j) (Matrix.get term.rho i j))
-      done
-    done
-  in
-  List.iter accumulate kraus;
-  for i = 0 to dim t - 1 do
-    for j = 0 to dim t - 1 do
-      Matrix.set t.rho i j (Matrix.get total i j)
-    done
-  done
+  let re, im = Fmatrix.buffers t.rho in
+  let len = Array.length re in
+  let s = scratch t in
+  Array.blit re 0 s.orig_re 0 len;
+  Array.blit im 0 s.orig_im 0 len;
+  Array.fill s.acc_re 0 len 0.0;
+  Array.fill s.acc_im 0 len 0.0;
+  List.iter
+    (fun k ->
+      (* Reuse rho itself as the per-operator working plane: restore the
+         original, conjugate by K, accumulate K rho K† into the scratch. *)
+      Array.blit s.orig_re 0 re 0 len;
+      Array.blit s.orig_im 0 im 0 len;
+      left_mul1 t k q;
+      right_mul1 t (Matrix.adjoint k) q;
+      for i = 0 to len - 1 do
+        s.acc_re.(i) <- s.acc_re.(i) +. re.(i);
+        s.acc_im.(i) <- s.acc_im.(i) +. im.(i)
+      done)
+    kraus;
+  Array.blit s.acc_re 0 re 0 len;
+  Array.blit s.acc_im 0 im 0 len
 
 let c re = { Complex.re; im = 0.0 }
 
@@ -203,13 +329,19 @@ let run_steps ~n_qubits steps =
 
 let fidelity_pure t sv =
   if Statevector.n_qubits sv <> t.n then invalid_arg "Density.fidelity_pure: size mismatch";
-  let amps = Statevector.amplitudes sv in
-  let acc = ref Complex.zero in
-  for i = 0 to dim t - 1 do
-    for j = 0 to dim t - 1 do
-      acc :=
-        Complex.add !acc
-          (Complex.mul (Complex.conj amps.(i)) (Complex.mul (Matrix.get t.rho i j) amps.(j)))
+  let ar, ai = Statevector.buffers sv in
+  let d = dim t in
+  let re, im = Fmatrix.buffers t.rho in
+  (* Re( sum_ij conj(a_i) rho_ij a_j ) *)
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    let row = i * d in
+    let cir = ar.(i) and cii = ai.(i) in
+    for j = 0 to d - 1 do
+      let rr = re.(row + j) and ri = im.(row + j) in
+      let tr = (rr *. ar.(j)) -. (ri *. ai.(j)) in
+      let ti = (rr *. ai.(j)) +. (ri *. ar.(j)) in
+      acc := !acc +. ((cir *. tr) +. (cii *. ti))
     done
   done;
-  !acc.Complex.re
+  !acc

@@ -27,6 +27,10 @@ let apply_event rng state = function
     else if u < p_x +. p_y then Statevector.apply state Gate.Y [ q ]
     else if u < p_x +. p_y +. p_z then Statevector.apply state Gate.Z [ q ]
 
+let run_trajectory_into state rng steps =
+  Statevector.reset state;
+  List.iter (fun step -> List.iter (apply_event rng state) step) steps
+
 let run_trajectory rng ~n_qubits steps =
   let state = Statevector.create n_qubits in
   List.iter (fun step -> List.iter (apply_event rng state) step) steps;
@@ -44,11 +48,34 @@ let ideal_of_steps ~n_qubits steps =
     steps;
   state
 
+(* One reusable trajectory state per domain: a worker allocates its state on
+   the first trial it executes and resets it in place for every later one. *)
+let trajectory_state = Domain.DLS.new_key (fun () -> ref None)
+
 let average_fidelity rng ~n_qubits ~ideal ~steps ~trials =
   if trials <= 0 then invalid_arg "Noisy_sim.average_fidelity: trials must be positive";
+  (* Each trial gets its own generator, split from the caller's in index
+     order before the fan-out.  The trial->stream mapping (and the caller's
+     final rng state) is therefore fixed before any scheduling happens, and
+     the index-ordered sum below makes the mean bit-identical at any
+     [--jobs]. *)
+  let seeds = Rng.split_n rng trials in
+  let fidelities =
+    Pool.map_array
+      (fun trial_rng ->
+        let cache = Domain.DLS.get trajectory_state in
+        let state =
+          match !cache with
+          | Some (n, st) when n = n_qubits -> st
+          | _ ->
+            let st = Statevector.create n_qubits in
+            cache := Some (n_qubits, st);
+            st
+        in
+        run_trajectory_into state trial_rng steps;
+        Statevector.fidelity ideal state)
+      seeds
+  in
   let total = ref 0.0 in
-  for _ = 1 to trials do
-    let final = run_trajectory rng ~n_qubits steps in
-    total := !total +. Statevector.fidelity ideal final
-  done;
+  Array.iter (fun f -> total := !total +. f) fidelities;
   !total /. float_of_int trials

@@ -36,7 +36,12 @@ val run_trajectory : Rng.t -> n_qubits:int -> step list -> Statevector.t
 val average_fidelity :
   Rng.t -> n_qubits:int -> ideal:Statevector.t -> steps:step list -> trials:int -> float
 (** Mean fidelity of [trials] noisy trajectories against the ideal state —
-    the simulated program success rate. *)
+    the simulated program success rate.  Trials fan out over the domain pool
+    ({!Fastsc_util.Pool}), each with its own generator split from [rng] in
+    index order before the fan-out and one reusable state buffer per worker,
+    so the result (and the caller's final [rng] state) is bit-identical at
+    any [--jobs] setting.
+    @raise Invalid_argument unless [trials > 0]. *)
 
 val ideal_of_steps : n_qubits:int -> step list -> Statevector.t
 (** The noise-free reference: applies only the [Unitary] events. *)

@@ -1,10 +1,21 @@
-type t = { n : int; amps : Complex.t array }
+(* Amplitudes live in two flat float arrays (split re/im), which OCaml stores
+   unboxed: the gate kernels below are allocation-free loops over scalar
+   floats with the 2x2 / 4x4 gate entries hoisted out of the loop.  The boxed
+   implementation survives as Statevector_ref, the reference the differential
+   suite checks this module against. *)
+type t = { n : int; re : float array; im : float array }
 
 let create n =
   if n < 1 || n > 24 then invalid_arg "Statevector.create: supported range is 1..24 qubits";
-  let amps = Array.make (1 lsl n) Complex.zero in
-  amps.(0) <- Complex.one;
-  { n; amps }
+  let dim = 1 lsl n in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let reset t =
+  Array.fill t.re 0 (Array.length t.re) 0.0;
+  Array.fill t.im 0 (Array.length t.im) 0.0;
+  t.re.(0) <- 1.0
 
 let of_amplitudes amps =
   let len = Array.length amps in
@@ -14,15 +25,23 @@ let of_amplitudes amps =
   while 1 lsl !n < len do
     incr n
   done;
-  { n = !n; amps }
+  (* Unboxing copies: later mutation of the caller's array cannot alias the
+     state (the boxed predecessor stored the array it was handed). *)
+  {
+    n = !n;
+    re = Array.map (fun z -> z.Complex.re) amps;
+    im = Array.map (fun z -> z.Complex.im) amps;
+  }
 
 let n_qubits t = t.n
 
-let copy t = { t with amps = Array.copy t.amps }
+let copy t = { t with re = Array.copy t.re; im = Array.copy t.im }
 
-let amplitudes t = Array.copy t.amps
+let buffers t = (t.re, t.im)
 
-let amplitude t k = t.amps.(k)
+let amplitudes t = Array.init (Array.length t.re) (fun k -> { Complex.re = t.re.(k); im = t.im.(k) })
+
+let amplitude t k = { Complex.re = t.re.(k); im = t.im.(k) }
 
 let check_qubit t q =
   if q < 0 || q >= t.n then invalid_arg (Printf.sprintf "Statevector: qubit %d out of range" q)
@@ -31,18 +50,25 @@ let apply_matrix1 t m q =
   if Matrix.rows m <> 2 || Matrix.cols m <> 2 then
     invalid_arg "Statevector.apply_matrix1: expected 2x2";
   check_qubit t q;
-  let mask = 1 lsl q in
   let m00 = Matrix.get m 0 0 and m01 = Matrix.get m 0 1 in
   let m10 = Matrix.get m 1 0 and m11 = Matrix.get m 1 1 in
-  let dim = Array.length t.amps in
-  let i = ref 0 in
-  while !i < dim do
-    if !i land mask = 0 then begin
-      let a0 = t.amps.(!i) and a1 = t.amps.(!i lor mask) in
-      t.amps.(!i) <- Complex.add (Complex.mul m00 a0) (Complex.mul m01 a1);
-      t.amps.(!i lor mask) <- Complex.add (Complex.mul m10 a0) (Complex.mul m11 a1)
-    end;
-    incr i
+  let m00r = m00.Complex.re and m00i = m00.Complex.im in
+  let m01r = m01.Complex.re and m01i = m01.Complex.im in
+  let m10r = m10.Complex.re and m10i = m10.Complex.im in
+  let m11r = m11.Complex.re and m11i = m11.Complex.im in
+  let re = t.re and im = t.im in
+  let mask = 1 lsl q in
+  let low = mask - 1 in
+  let pairs = Array.length re lsr 1 in
+  for k = 0 to pairs - 1 do
+    let i0 = ((k lsr q) lsl (q + 1)) lor (k land low) in
+    let i1 = i0 lor mask in
+    let a0r = re.(i0) and a0i = im.(i0) in
+    let a1r = re.(i1) and a1i = im.(i1) in
+    re.(i0) <- (m00r *. a0r) -. (m00i *. a0i) +. ((m01r *. a1r) -. (m01i *. a1i));
+    im.(i0) <- (m00r *. a0i) +. (m00i *. a0r) +. ((m01r *. a1i) +. (m01i *. a1r));
+    re.(i1) <- (m10r *. a0r) -. (m10i *. a0i) +. ((m11r *. a1r) -. (m11i *. a1i));
+    im.(i1) <- (m10r *. a0i) +. (m10i *. a0r) +. ((m11r *. a1i) +. (m11i *. a1r))
   done
 
 let apply_matrix2 t m q_first q_second =
@@ -51,28 +77,73 @@ let apply_matrix2 t m q_first q_second =
   check_qubit t q_first;
   check_qubit t q_second;
   if q_first = q_second then invalid_arg "Statevector.apply_matrix2: duplicate qubit";
+  (* Hoist the 32 scalar entries of the 4x4 gate out of the loop. *)
+  let er r c = (Matrix.get m r c).Complex.re and ei r c = (Matrix.get m r c).Complex.im in
+  let m00r = er 0 0 and m00i = ei 0 0 and m01r = er 0 1 and m01i = ei 0 1 in
+  let m02r = er 0 2 and m02i = ei 0 2 and m03r = er 0 3 and m03i = ei 0 3 in
+  let m10r = er 1 0 and m10i = ei 1 0 and m11r = er 1 1 and m11i = ei 1 1 in
+  let m12r = er 1 2 and m12i = ei 1 2 and m13r = er 1 3 and m13i = ei 1 3 in
+  let m20r = er 2 0 and m20i = ei 2 0 and m21r = er 2 1 and m21i = ei 2 1 in
+  let m22r = er 2 2 and m22i = ei 2 2 and m23r = er 2 3 and m23i = ei 2 3 in
+  let m30r = er 3 0 and m30i = ei 3 0 and m31r = er 3 1 and m31i = ei 3 1 in
+  let m32r = er 3 2 and m32i = ei 3 2 and m33r = er 3 3 and m33i = ei 3 3 in
+  let re = t.re and im = t.im in
   let hi = 1 lsl q_first and lo = 1 lsl q_second in
-  let dim = Array.length t.amps in
-  let entry r c = Matrix.get m r c in
-  for i = 0 to dim - 1 do
-    if i land hi = 0 && i land lo = 0 then begin
-      let i00 = i in
-      let i01 = i lor lo in
-      let i10 = i lor hi in
-      let i11 = i lor hi lor lo in
-      let a = [| t.amps.(i00); t.amps.(i01); t.amps.(i10); t.amps.(i11) |] in
-      let out r =
-        let acc = ref Complex.zero in
-        for c = 0 to 3 do
-          acc := Complex.add !acc (Complex.mul (entry r c) a.(c))
-        done;
-        !acc
-      in
-      t.amps.(i00) <- out 0;
-      t.amps.(i01) <- out 1;
-      t.amps.(i10) <- out 2;
-      t.amps.(i11) <- out 3
-    end
+  (* Enumerate the indices with both operand bits clear by scattering the
+     counter around the two bit positions (lowest position first). *)
+  let p = min q_first q_second and r = max q_first q_second in
+  let lowp = (1 lsl p) - 1 and lowr = (1 lsl r) - 1 in
+  let quarters = Array.length re lsr 2 in
+  for k = 0 to quarters - 1 do
+    let s = ((k lsr p) lsl (p + 1)) lor (k land lowp) in
+    let i00 = ((s lsr r) lsl (r + 1)) lor (s land lowr) in
+    let i01 = i00 lor lo in
+    let i10 = i00 lor hi in
+    let i11 = i00 lor hi lor lo in
+    let a0r = re.(i00) and a0i = im.(i00) in
+    let a1r = re.(i01) and a1i = im.(i01) in
+    let a2r = re.(i10) and a2i = im.(i10) in
+    let a3r = re.(i11) and a3i = im.(i11) in
+    re.(i00) <-
+      (m00r *. a0r) -. (m00i *. a0i)
+      +. ((m01r *. a1r) -. (m01i *. a1i))
+      +. ((m02r *. a2r) -. (m02i *. a2i))
+      +. ((m03r *. a3r) -. (m03i *. a3i));
+    im.(i00) <-
+      (m00r *. a0i) +. (m00i *. a0r)
+      +. ((m01r *. a1i) +. (m01i *. a1r))
+      +. ((m02r *. a2i) +. (m02i *. a2r))
+      +. ((m03r *. a3i) +. (m03i *. a3r));
+    re.(i01) <-
+      (m10r *. a0r) -. (m10i *. a0i)
+      +. ((m11r *. a1r) -. (m11i *. a1i))
+      +. ((m12r *. a2r) -. (m12i *. a2i))
+      +. ((m13r *. a3r) -. (m13i *. a3i));
+    im.(i01) <-
+      (m10r *. a0i) +. (m10i *. a0r)
+      +. ((m11r *. a1i) +. (m11i *. a1r))
+      +. ((m12r *. a2i) +. (m12i *. a2r))
+      +. ((m13r *. a3i) +. (m13i *. a3r));
+    re.(i10) <-
+      (m20r *. a0r) -. (m20i *. a0i)
+      +. ((m21r *. a1r) -. (m21i *. a1i))
+      +. ((m22r *. a2r) -. (m22i *. a2i))
+      +. ((m23r *. a3r) -. (m23i *. a3i));
+    im.(i10) <-
+      (m20r *. a0i) +. (m20i *. a0r)
+      +. ((m21r *. a1i) +. (m21i *. a1r))
+      +. ((m22r *. a2i) +. (m22i *. a2r))
+      +. ((m23r *. a3i) +. (m23i *. a3r));
+    re.(i11) <-
+      (m30r *. a0r) -. (m30i *. a0i)
+      +. ((m31r *. a1r) -. (m31i *. a1i))
+      +. ((m32r *. a2r) -. (m32i *. a2i))
+      +. ((m33r *. a3r) -. (m33i *. a3i));
+    im.(i11) <-
+      (m30r *. a0i) +. (m30i *. a0r)
+      +. ((m31r *. a1i) +. (m31i *. a1r))
+      +. ((m32r *. a2i) +. (m32i *. a2r))
+      +. ((m33r *. a3i) +. (m33i *. a3r))
   done
 
 let apply t gate qubits =
@@ -95,36 +166,49 @@ let of_circuit circuit =
   run t circuit;
   t
 
-let probability t k = Complex_ext.norm2 t.amps.(k)
+let probability t k = (t.re.(k) *. t.re.(k)) +. (t.im.(k) *. t.im.(k))
 
-let probabilities t = Array.map Complex_ext.norm2 t.amps
+let probabilities t = Array.init (Array.length t.re) (fun k -> probability t k)
 
 let fidelity a b =
   if a.n <> b.n then invalid_arg "Statevector.fidelity: qubit count mismatch";
-  let overlap = ref Complex.zero in
-  for k = 0 to Array.length a.amps - 1 do
-    overlap := Complex.add !overlap (Complex.mul (Complex.conj a.amps.(k)) b.amps.(k))
+  let or_ = ref 0.0 and oi = ref 0.0 in
+  for k = 0 to Array.length a.re - 1 do
+    (* conj(a_k) * b_k *)
+    let ar = a.re.(k) and ai = -.a.im.(k) in
+    let br = b.re.(k) and bi = b.im.(k) in
+    or_ := !or_ +. ((ar *. br) -. (ai *. bi));
+    oi := !oi +. ((ar *. bi) +. (ai *. br))
   done;
-  Complex_ext.norm2 !overlap
+  (!or_ *. !or_) +. (!oi *. !oi)
 
-let norm t = sqrt (Array.fold_left (fun acc z -> acc +. Complex_ext.norm2 z) 0.0 t.amps)
+let norm t =
+  let acc = ref 0.0 in
+  for k = 0 to Array.length t.re - 1 do
+    acc := !acc +. ((t.re.(k) *. t.re.(k)) +. (t.im.(k) *. t.im.(k)))
+  done;
+  sqrt !acc
 
 let normalize t =
   let n = norm t in
-  if n > 0.0 then
-    Array.iteri (fun k z -> t.amps.(k) <- Complex_ext.scale (1.0 /. n) z) t.amps
+  if n > 0.0 then begin
+    let s = 1.0 /. n in
+    for k = 0 to Array.length t.re - 1 do
+      t.re.(k) <- s *. t.re.(k);
+      t.im.(k) <- s *. t.im.(k)
+    done
+  end
 
 let measure rng t =
   let u = Rng.float rng in
-  let acc = ref 0.0 and result = ref (Array.length t.amps - 1) in
-  (try
-     Array.iteri
-       (fun k z ->
-         acc := !acc +. Complex_ext.norm2 z;
-         if !acc >= u then begin
-           result := k;
-           raise Exit
-         end)
-       t.amps
-   with Exit -> ());
+  let dim = Array.length t.re in
+  let acc = ref 0.0 and result = ref (dim - 1) and k = ref 0 in
+  while !k < dim do
+    acc := !acc +. probability t !k;
+    if !acc >= u then begin
+      result := !k;
+      k := dim
+    end
+    else incr k
+  done;
   !result

@@ -9,7 +9,12 @@
     Bit convention: qubit [k] is bit [k] of the basis-state index (qubit 0 is
     least significant).  For two-qubit gates the {e first} operand is the
     most significant bit of the 4x4 matrix basis, matching
-    {!Gate.unitary}. *)
+    {!Gate.unitary}.
+
+    Amplitudes are stored unboxed in two flat [float array]s (split re/im),
+    so the gate kernels allocate nothing; [Complex.t] appears only at the
+    API boundary.  {!Statevector_ref} is the boxed reference implementation
+    the differential tests compare against. *)
 
 type t
 
@@ -17,13 +22,25 @@ val create : int -> t
 (** [create n] is |0...0> on [n] qubits.
     @raise Invalid_argument unless [1 <= n <= 24]. *)
 
+val reset : t -> unit
+(** Return to |0...0> in place, reusing the buffers (the Monte-Carlo
+    trajectory loop resets one state per worker instead of allocating one
+    per trial). *)
+
 val of_amplitudes : Complex.t array -> t
-(** Takes ownership of the array; length must be a power of two.  The state
-    is not renormalised. *)
+(** Copies the array (length must be a power of two); later caller mutation
+    cannot corrupt the state.  The state is not renormalised. *)
 
 val n_qubits : t -> int
 
 val copy : t -> t
+
+val buffers : t -> float array * float array
+(** [(re, im)] — the {e live} flat amplitude buffers, indexed by basis
+    state.  Mutating them mutates the state; intended for kernel-level
+    consumers ({!Unitary}, {!Density}, the simulation benches) that want
+    amplitude access without boxing.  Renormalisation is the caller's
+    responsibility. *)
 
 val amplitudes : t -> Complex.t array
 (** A copy of the current amplitudes. *)

@@ -1,18 +1,23 @@
 let of_circuit circuit =
   let n = Circuit.n_qubits circuit in
   let dim = 1 lsl n in
-  let u = Matrix.create dim dim in
+  let u = Fmatrix.create dim dim in
+  let ure, uim = Fmatrix.buffers u in
+  (* One state reused for all basis columns: reset, place the 1 at |k>,
+     simulate, and copy the flat amplitudes straight into column k. *)
+  let state = Statevector.create n in
+  let sre, sim = Statevector.buffers state in
   for k = 0 to dim - 1 do
-    let amps = Array.make dim Complex.zero in
-    amps.(k) <- Complex.one;
-    let state = Statevector.of_amplitudes amps in
+    Statevector.reset state;
+    sre.(0) <- 0.0;
+    sre.(k) <- 1.0;
     Statevector.run state circuit;
-    let out = Statevector.amplitudes state in
     for r = 0 to dim - 1 do
-      Matrix.set u r k out.(r)
+      ure.((r * dim) + k) <- sre.(r);
+      uim.((r * dim) + k) <- sim.(r)
     done
   done;
-  u
+  Fmatrix.to_matrix u
 
 let of_gate gate qubits ~n_qubits =
   of_circuit (Circuit.of_gates n_qubits [ (gate, qubits) ])

@@ -64,20 +64,28 @@ let self_constraints_ok t ~delta =
 
 (* Smallest value >= start that avoids every interval; None if it escapes
    [hi].  Blocked intervals are open, so landing exactly on an endpoint is
-   allowed. *)
+   allowed.
+
+   The list arrives sorted by (a, b), and one forward pass reaches the same
+   fixpoint the old retry-until-stable loop computed.  An interval whose
+   upper end sits more than epsilon below the running maximum is dominated:
+   it starts no earlier than some retained interval (sort order) and ends
+   strictly inside it, so any value it could bump is bumped at least as far
+   by the dominating interval first — merging it away changes nothing.
+   Among the survivors the upper ends are non-decreasing to within epsilon,
+   so a jump to some b can never land strictly inside an {e earlier}
+   interval, and a single left-to-right scan visits every interval that can
+   still fire. *)
 let resolve_upward intervals ~hi start =
   let value = ref start in
-  let moved = ref true in
-  while !moved do
-    moved := false;
-    List.iter
-      (fun (a, b) ->
-        if !value > a +. epsilon && !value < b -. epsilon then begin
-          value := b;
-          moved := true
-        end)
-      intervals
-  done;
+  let bmax = ref neg_infinity in
+  List.iter
+    (fun (a, b) ->
+      if b >= !bmax -. epsilon then begin
+        if !value > a +. epsilon && !value < b -. epsilon then value := b;
+        if b > !bmax then bmax := b
+      end)
+    intervals;
   if !value <= hi +. epsilon then Some (Float.min !value hi) else None
 
 (* Candidate values for backtracking: the minimal feasible one plus the upper

@@ -20,6 +20,16 @@ let split t =
   let seed = int64 t in
   { state = seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  (* Explicit loop: Array.init's evaluation order is unspecified, and the
+     children must be drawn from the parent stream in index order. *)
+  let out = Array.init n (fun _ -> { state = 0L }) in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)

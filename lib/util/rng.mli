@@ -23,6 +23,13 @@ val split : t -> t
     parent and child are independent for practical purposes; used to give each
     subsystem (device, circuit, noise) its own stream. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] draws [n] child generators from [t] in index order,
+    advancing [t] exactly [n] times.  Parallel drivers derive one child per
+    cell up front, so each cell's stream — and hence the result — does not
+    depend on how cells are scheduled over domains.
+    @raise Invalid_argument on a negative count. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -6,11 +6,11 @@ open Helpers
 
 let bench = Filename.concat (Filename.concat ".." "bench") "main.exe"
 
-let run_driver driver jobs =
+let run_driver ?(env = "") driver jobs =
   let out_file = Filename.temp_file "fastsc_golden" ".out" in
   (* stderr is not part of the contract (it carries the jobs note) *)
   let command =
-    Printf.sprintf "%s --jobs %d %s > %s 2> /dev/null" (Filename.quote bench) jobs driver
+    Printf.sprintf "%s%s --jobs %d %s > %s 2> /dev/null" env (Filename.quote bench) jobs driver
       (Filename.quote out_file)
   in
   let code = Sys.command command in
@@ -39,9 +39,22 @@ let test_fig7_byte_identical () =
   check_true "fig7 produced the decomposition study" (contains serial "Fig 7");
   check_true "stdout byte-identical at jobs=1 and jobs=4" (String.equal serial parallel)
 
+(* The validate driver runs Monte-Carlo trajectories through the parallel
+   average_fidelity path; its stdout (fidelity columns included) must not
+   depend on the job count.  FASTSC_VALIDATE_TRIALS keeps the golden run
+   cheap. *)
+let test_validate_byte_identical () =
+  let env = "FASTSC_VALIDATE_TRIALS=25 " in
+  let serial = run_driver ~env "validate" 1 in
+  let parallel = run_driver ~env "validate" 4 in
+  check_true "validate produced the heuristic table" (contains serial "Heuristic validation");
+  check_true "trajectory column present" (contains serial "trajectories P");
+  check_true "stdout byte-identical at jobs=1 and jobs=4" (String.equal serial parallel)
+
 let suite =
   [
     Alcotest.test_case "fig6 jobs=1 vs jobs=4" `Quick test_fig6_byte_identical;
     Alcotest.test_case "fig6 repeatability" `Quick test_fig6_stable_across_repeats;
     Alcotest.test_case "fig7 jobs=1 vs jobs=4" `Quick test_fig7_byte_identical;
+    Alcotest.test_case "validate jobs=1 vs jobs=4" `Quick test_validate_byte_identical;
   ]

@@ -138,9 +138,44 @@ let prop_witness_always_checks =
       | None -> true
       | Some xs -> Fastsc_smt.Smt.check t ~delta xs)
 
+(* The single-pass resolver must land on exactly the floats the old
+   retry-until-stable loop produced: witnesses are part of the golden
+   determinism surface, so these pin exact values (eps 0), not tolerances. *)
+let test_resolver_chained_zones_exact () =
+  (* Overlapping forbidden zones around 1.0, 1.8, 2.6 with delta 0.5 chain
+     into (0.5,1.5)(1.3,2.3)(2.1,3.1): starting at lo=1.0 the resolver hops
+     endpoint to endpoint and stops exactly at 2.6 +. 0.5. *)
+  let t = Fastsc_smt.Smt.create ~lo:1.0 ~hi:10.0 1 in
+  let t = Fastsc_smt.Smt.add_forbidden t 0 ~center:1.0 in
+  let t = Fastsc_smt.Smt.add_forbidden t 0 ~center:1.8 in
+  let t = Fastsc_smt.Smt.add_forbidden t 0 ~center:2.6 in
+  (match Fastsc_smt.Smt.solve t ~delta:0.5 with
+  | None -> Alcotest.fail "chain is escapable"
+  | Some xs -> check_float ~eps:0.0 "exact upper endpoint of the chain" (2.6 +. 0.5) xs.(0));
+  (* A gap between zones is kept: disjoint zones stop the walk early. *)
+  let t = Fastsc_smt.Smt.create ~lo:1.0 ~hi:10.0 1 in
+  let t = Fastsc_smt.Smt.add_forbidden t 0 ~center:1.0 in
+  let t = Fastsc_smt.Smt.add_forbidden t 0 ~center:4.0 in
+  match Fastsc_smt.Smt.solve t ~delta:0.5 with
+  | None -> Alcotest.fail "gap is reachable"
+  | Some xs -> check_float ~eps:0.0 "lands in the first gap" (1.0 +. 0.5) xs.(0)
+
+let test_resolver_separation_chain_exact () =
+  (* Greedy placement under ~order with touching separation intervals:
+     the witness is exactly 5, 6, 7. *)
+  let t = solver_feasible () in
+  match Fastsc_smt.Smt.solve ~order:[ 0; 1; 2 ] t ~delta:1.0 with
+  | None -> Alcotest.fail "boundary chain is feasible"
+  | Some xs ->
+    check_float ~eps:0.0 "x0 at lo" 5.0 xs.(0);
+    check_float ~eps:0.0 "x1 pushed one delta up" 6.0 xs.(1);
+    check_float ~eps:0.0 "x2 pushed through both intervals" 7.0 xs.(2)
+
 let suite =
   [
     Alcotest.test_case "solve simple" `Quick test_solve_simple;
+    Alcotest.test_case "resolver chained zones exact" `Quick test_resolver_chained_zones_exact;
+    Alcotest.test_case "resolver separation chain exact" `Quick test_resolver_separation_chain_exact;
     Alcotest.test_case "solve infeasible" `Quick test_solve_infeasible;
     Alcotest.test_case "solve boundary" `Quick test_solve_boundary;
     Alcotest.test_case "find max delta" `Quick test_find_max_delta;

@@ -97,6 +97,23 @@ let test_of_amplitudes_validation () =
     (Invalid_argument "Statevector.of_amplitudes: length must be a power of two") (fun () ->
       ignore (Statevector.of_amplitudes (Array.make 3 Complex.zero)))
 
+let test_of_amplitudes_copies () =
+  (* Regression: the boxed predecessor stored the caller's array, so mutating
+     it after construction silently corrupted the state. *)
+  let amps = [| Complex.zero; Complex.one |] in
+  let s = Statevector.of_amplitudes amps in
+  amps.(1) <- { Complex.re = 0.25; im = -0.75 };
+  check_float ~eps:0.0 "caller mutation does not reach the state" 1.0 (Statevector.probability s 1);
+  check_float ~eps:0.0 "basis-0 amplitude untouched" 0.0 (Statevector.probability s 0)
+
+let test_reset () =
+  let s = Statevector.create 2 in
+  Statevector.apply s Gate.H [ 0 ];
+  Statevector.apply s Gate.Cz [ 0; 1 ];
+  Statevector.reset s;
+  check_float ~eps:0.0 "back to |00>" 1.0 (Statevector.probability s 0);
+  check_float ~eps:0.0 "norm restored" 1.0 (Statevector.norm s)
+
 let test_apply_validation () =
   let s = Statevector.create 2 in
   Alcotest.check_raises "duplicate qubits"
@@ -152,6 +169,8 @@ let suite =
     Alcotest.test_case "phase invariance" `Quick test_global_phase_invisible_in_fidelity;
     Alcotest.test_case "measure distribution" `Quick test_measure_distribution;
     Alcotest.test_case "of_amplitudes validation" `Quick test_of_amplitudes_validation;
+    Alcotest.test_case "of_amplitudes copies" `Quick test_of_amplitudes_copies;
+    Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "apply validation" `Quick test_apply_validation;
     Alcotest.test_case "matrix apply" `Quick test_matrix_apply_matches_gate;
     prop_unitarity_preserves_norm;
