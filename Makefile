@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench bench-sim examples check clean
+.PHONY: all build test bench bench-sim bench-smt-scale examples check clean
 
 all: build
 
@@ -26,6 +26,30 @@ bench-sim:
 	FASTSC_SIM_BUDGET_MS=$${FASTSC_SIM_BUDGET_MS:-20} \
 	$(DUNE) exec bench/main.exe -- sim > /dev/null
 
+# SMT scaling smoke run: a tiny mesh sweep under FASTSC_JOBS=1 and 4 with
+# every wall-clock field scrubbed — the two JSON files must be byte-identical
+# (the decomposed solver's determinism contract, docs/DESIGN.md §10).  Unset
+# the env knobs for real measurements (defaults: meshes 10/20/50, density 6%).
+# The committed BENCH_smt_scale.json (full-scale run) is saved and restored
+# around the smoke legs so `make check` never clobbers it.
+bench-smt-scale:
+	$(DUNE) build bench/main.exe
+	@if [ -f BENCH_smt_scale.json ]; then mv BENCH_smt_scale.json BENCH_smt_scale.json.keep; fi
+	FASTSC_SMT_SIZES=$${FASTSC_SMT_SIZES:-5,7} \
+	FASTSC_SMT_MOMENTS=$${FASTSC_SMT_MOMENTS:-2} \
+	FASTSC_SMT_DENSITY=$${FASTSC_SMT_DENSITY:-10} \
+	FASTSC_SMT_SCRUB=1 FASTSC_JOBS=1 \
+	$(DUNE) exec bench/main.exe -- smt-scale > /dev/null
+	mv BENCH_smt_scale.json BENCH_smt_scale.jobs1.json
+	FASTSC_SMT_SIZES=$${FASTSC_SMT_SIZES:-5,7} \
+	FASTSC_SMT_MOMENTS=$${FASTSC_SMT_MOMENTS:-2} \
+	FASTSC_SMT_DENSITY=$${FASTSC_SMT_DENSITY:-10} \
+	FASTSC_SMT_SCRUB=1 FASTSC_JOBS=4 \
+	$(DUNE) exec bench/main.exe -- smt-scale > /dev/null
+	cmp BENCH_smt_scale.json BENCH_smt_scale.jobs1.json
+	rm -f BENCH_smt_scale.json BENCH_smt_scale.jobs1.json
+	@if [ -f BENCH_smt_scale.json.keep ]; then mv BENCH_smt_scale.json.keep BENCH_smt_scale.json; fi
+
 # Smoke-run every worked example (examples/*.ml are documentation that must
 # keep compiling AND running); output is discarded, a non-zero exit fails.
 examples:
@@ -45,6 +69,7 @@ check:
 	FASTSC_JOBS=4 $(DUNE) runtest --force
 	$(MAKE) examples
 	$(MAKE) bench-sim
+	$(MAKE) bench-smt-scale
 
 clean:
 	$(DUNE) clean

@@ -1,0 +1,414 @@
+(* SMT scaling benchmark: component-decomposed parallel separation solving
+   against the monolithic whole-problem search, on per-moment crosstalk
+   constraint problems drawn from large meshes.
+
+   Each "moment" activates a random subset of a topology's couplings (one
+   variable per active coupling, bounds [0, 1]) and constrains every
+   crosstalk-adjacent active pair by |x_i - x_j| >= delta — the coupling-level
+   frequency-allocation problem a scheduling cycle induces.  Four solvers run
+   on the identical problems:
+
+   - monolithic: binary search over [Smt.solve_monolithic] (the
+     pre-decomposition whole-problem backtracking search, single-threaded);
+   - decomposed: [Smt.find_max_delta_components] at jobs = 1 and jobs = N —
+     results must be byte-identical (the determinism contract);
+   - warm restart: the decomposed solver re-seeded with its own witness
+     ([find_max_delta_components ~warm], the compiler's consecutive-moment
+     seed) — components whose local maximum equals the seed's margin skip
+     their entire binary search;
+   - ordering portfolio: [Smt.find_max_delta_portfolio] racing
+     degree-descending, index-ascending and witness-sorted sweep orders.
+
+   A final section replays each moment's components through
+   [Freq_alloc.interaction] (color-level problems, sizes capped at the mesh
+   color bound) and reports the solver memo-cache hit rate.
+
+   Emits BENCH_smt_scale.json.  Env knobs (the `make bench-smt-scale` smoke
+   run shrinks them):
+     FASTSC_SMT_SIZES     comma-separated mesh sides (default "10,20,50")
+     FASTSC_SMT_MOMENTS   moments per size (default 2)
+     FASTSC_SMT_DENSITY   active-coupling percentage (default 6)
+     FASTSC_SMT_TOPOLOGY  grid | path | ring | heavy-hex | octagonal | express
+     FASTSC_SMT_SCRUB     when set, zero every wall-clock-derived field (and
+                          the jobs stamp) so JSON from different job counts
+                          can be compared byte-for-byte *)
+
+let valid_topologies = [ "grid"; "path"; "ring"; "heavy-hex"; "octagonal"; "express" ]
+
+(* Unknown names exit 2 listing the valid ones, mirroring --algorithm. *)
+let topology_of name size =
+  match name with
+  | "grid" -> Topology.grid size size
+  | "path" -> Topology.path (size * size)
+  | "ring" -> Topology.ring (max 3 (size * size))
+  | "heavy-hex" -> Topology.heavy_hex size size
+  | "octagonal" -> Topology.octagonal size size
+  | "express" -> Topology.express_2d size size 4
+  | other ->
+    Printf.eprintf "bench smt-scale: unknown topology %S (valid: %s)\n%!" other
+      (String.concat " " valid_topologies);
+    exit 2
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+let env_sizes () =
+  match Sys.getenv_opt "FASTSC_SMT_SIZES" with
+  | None -> [ 10; 20; 50 ]
+  | Some spec ->
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 2 -> v
+      | _ ->
+        Printf.eprintf "bench smt-scale: FASTSC_SMT_SIZES needs integers >= 2, got %S\n%!" s;
+        exit 2
+    in
+    List.map parse (String.split_on_char ',' spec)
+
+let scrubbed () = Sys.getenv_opt "FASTSC_SMT_SCRUB" <> None
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let tolerance = 1e-4
+
+(* The baseline: [Smt.find_max_delta]'s exact bisection (zero probe, top
+   probe, halving to tolerance) but every probe is the monolithic
+   whole-problem search — what the solver did before decomposition. *)
+let monolithic_max_delta t =
+  let probes = ref 0 in
+  let probe delta =
+    incr probes;
+    Smt.solve_monolithic t ~delta
+  in
+  let result =
+    match probe 0.0 with
+    | None -> None
+    | Some w0 ->
+      let best = ref (0.0, w0) in
+      let lo = ref 0.0 and hi = ref 1.0 in
+      (match probe 1.0 with
+      | Some w ->
+        best := (1.0, w);
+        lo := 1.0
+      | None -> ());
+      while !hi -. !lo > tolerance do
+        let mid = (!lo +. !hi) /. 2.0 in
+        match probe mid with
+        | Some w ->
+          best := (mid, w);
+          lo := mid
+        | None -> hi := mid
+      done;
+      Some !best
+  in
+  (result, !probes)
+
+(* One moment: a seeded random activation of the couplings, lowered to a
+   separation problem over the active vertices.  Returns the problem, the
+   count of variables, and the degree-descending sweep order. *)
+let moment_problem xg rng ~density =
+  let cg = xg.Crosstalk_graph.graph in
+  let active =
+    List.filter (fun _ -> Rng.float rng < density) (Graph.vertices cg)
+  in
+  let n = List.length active in
+  let local = Array.make (Graph.n_vertices cg) (-1) in
+  List.iteri (fun i v -> local.(v) <- i) active;
+  let t = Smt.create n in
+  let deg = Array.make n 0 in
+  Graph.iter_edges
+    (fun u v ->
+      if local.(u) >= 0 && local.(v) >= 0 then begin
+        Smt.add_separation t local.(u) local.(v);
+        deg.(local.(u)) <- deg.(local.(u)) + 1;
+        deg.(local.(v)) <- deg.(local.(v)) + 1
+      end)
+    cg;
+  let order =
+    List.sort
+      (fun a b -> match compare deg.(b) deg.(a) with 0 -> compare a b | c -> c)
+      (List.init n Fun.id)
+  in
+  (t, n, order)
+
+type size_report = {
+  size : int;
+  qubits : int;
+  couplings : int;
+  articulation : int;
+  moments : int;
+  vars : int;
+  components : int;
+  component_max : int;
+  mono_s : float;
+  mono_probes : int;
+  mono_delta_mean : float;
+  dec1_s : float;
+  decn_s : float;
+  dec_solves : int;
+  dec_delta_mean : float;
+  identical : bool;
+  verified : bool;
+  warm_s : float;
+  portfolio_s : float;
+  winners : string;
+  cache_solves : int;
+  cache_hits : int;
+  cache_hit_rate : float;
+}
+
+let run_size ~name ~moments ~density size =
+  let topo = topology_of name size in
+  let graph = topo.Topology.graph in
+  let xg = Crosstalk_graph.build ~distance:1 graph in
+  let couplings = Graph.n_vertices xg.Crosstalk_graph.graph in
+  let articulation = List.length (Graph.articulation_points xg.Crosstalk_graph.graph) in
+  let jobs = Pool.default_jobs () in
+  let rng = Rng.create (2020 + size) in
+  let measured = ref 0 in
+  let vars = ref 0 in
+  let components = ref 0 in
+  let component_max = ref 0 in
+  let comp_sizes = ref [] in
+  let mono_s = ref 0.0 and mono_probes = ref 0 and mono_delta = ref 0.0 in
+  let dec1_s = ref 0.0 and decn_s = ref 0.0 and dec_solves = ref 0 in
+  let dec_delta = ref 0.0 in
+  let identical = ref true and verified = ref true in
+  let warm_s = ref 0.0 in
+  let portfolio_s = ref 0.0 in
+  let winner_tally = Array.make 3 0 in
+  for _ = 1 to moments do
+    let t, n, order = moment_problem xg rng ~density in
+    if n > 0 then begin
+      incr measured;
+      vars := !vars + n;
+      (* monolithic single-threaded baseline *)
+      let (mono, probes), dt = time (fun () -> monolithic_max_delta t) in
+      mono_s := !mono_s +. dt;
+      mono_probes := !mono_probes + probes;
+      let mono_delta_m, mono_w = Option.get mono in
+      mono_delta := !mono_delta +. mono_delta_m;
+      verified := !verified && Smt.verify t ~delta:mono_delta_m mono_w;
+      (* decomposed, jobs = 1 then jobs = N: must agree bit for bit *)
+      let r1, dt1 = time (fun () -> Smt.find_max_delta_components ~jobs:1 t) in
+      dec1_s := !dec1_s +. dt1;
+      let before = Smt.find_max_delta_count () in
+      let rn, dtn = time (fun () -> Smt.find_max_delta_components ~jobs t) in
+      decn_s := !decn_s +. dtn;
+      dec_solves := !dec_solves + (Smt.find_max_delta_count () - before);
+      let (d1, w1), _ = Option.get r1 in
+      let (dn, wn), infos = Option.get rn in
+      identical := !identical && d1 = dn && w1 = wn;
+      verified := !verified && Smt.verify t ~delta:dn wn;
+      dec_delta := !dec_delta +. dn;
+      List.iter
+        (fun (info : Smt.component_solution) ->
+          let k = List.length info.Smt.members in
+          incr components;
+          if k > !component_max then component_max := k;
+          comp_sizes := k :: !comp_sizes)
+        infos;
+      (* warm restart: the decomposed solver re-seeded with its own witness
+         (cold reference time is the jobs = N decomposed leg above) *)
+      let warm, dtw = time (fun () -> Smt.find_max_delta_components ~jobs ~warm:wn t) in
+      warm_s := !warm_s +. dtw;
+      let (dw, ww), _ = Option.get warm in
+      verified := !verified && Smt.verify t ~delta:dw ww;
+      (* a warm result can trail or lead the cold one only within tolerance *)
+      verified := !verified && Float.abs (dw -. dn) <= 2.0 *. tolerance;
+      (* ordering portfolio: degree-descending, index, witness-sorted *)
+      let by_witness =
+        List.sort
+          (fun a b ->
+            match compare wn.(a) wn.(b) with 0 -> compare a b | c -> c)
+          (List.init n Fun.id)
+      in
+      let orders = [ order; List.init n Fun.id; by_witness ] in
+      let pf, dtp = time (fun () -> Smt.find_max_delta_portfolio ~jobs ~orders t) in
+      portfolio_s := !portfolio_s +. dtp;
+      match pf with
+      | Some (winner, (dp, wp)) ->
+        winner_tally.(winner) <- winner_tally.(winner) + 1;
+        verified := !verified && Smt.verify t ~delta:dp wp
+      | None -> verified := false
+    end
+  done;
+  (* cache section: each component as a color-level Freq_alloc problem *)
+  Freq_alloc.reset_solver_cache ();
+  let device = Device.create ~seed:Exp_common.device_seed topo in
+  List.iter
+    (fun k ->
+      let c = min k Crosstalk_graph.max_colors_mesh in
+      let multiplicity = Array.make c 0 in
+      for i = 0 to k - 1 do
+        multiplicity.(i mod c) <- multiplicity.(i mod c) + 1
+      done;
+      ignore (Freq_alloc.interaction device ~n_colors:c ~multiplicity))
+    (List.rev !comp_sizes);
+  let cache = Freq_alloc.solver_cache_stats () in
+  let cache_solves = cache.Freq_alloc.hits + cache.Freq_alloc.misses in
+  let m = float_of_int (max 1 !measured) in
+  {
+    size;
+    qubits = Graph.n_vertices graph;
+    couplings;
+    articulation;
+    moments = !measured;
+    vars = !vars;
+    components = !components;
+    component_max = !component_max;
+    mono_s = !mono_s;
+    mono_probes = !mono_probes;
+    mono_delta_mean = !mono_delta /. m;
+    dec1_s = !dec1_s;
+    decn_s = !decn_s;
+    dec_solves = !dec_solves;
+    dec_delta_mean = !dec_delta /. m;
+    identical = !identical;
+    verified = !verified;
+    warm_s = !warm_s;
+    portfolio_s = !portfolio_s;
+    winners =
+      String.concat " "
+        (List.filteri
+           (fun _ s -> s <> "")
+           (List.mapi
+              (fun i c -> if c = 0 then "" else Printf.sprintf "%d:%d" i c)
+              (Array.to_list winner_tally)));
+    cache_solves;
+    cache_hits = cache.Freq_alloc.hits;
+    cache_hit_rate =
+      (if cache_solves = 0 then 0.0
+       else float_of_int cache.Freq_alloc.hits /. float_of_int cache_solves);
+  }
+
+let run () =
+  Exp_common.heading "SMT scaling: decomposed parallel vs monolithic separation solving";
+  let sizes = env_sizes () in
+  let moments = env_int "FASTSC_SMT_MOMENTS" 2 in
+  let density = float_of_int (env_int "FASTSC_SMT_DENSITY" 6) /. 100.0 in
+  let name = Option.value ~default:"grid" (Sys.getenv_opt "FASTSC_SMT_TOPOLOGY") in
+  if not (List.mem name valid_topologies) then ignore (topology_of name 2);
+  let scrub = scrubbed () in
+  let ms s = if scrub then 0.0 else s *. 1000.0 in
+  let ratio num den = if scrub || den <= 0.0 then 0.0 else num /. den in
+  let reports = List.map (fun size -> run_size ~name ~moments ~density size) sizes in
+
+  let t = Tablefmt.create
+      [ "size"; "vars"; "comps"; "max"; "artic"; "mono ms"; "dec j1 ms"; "dec jN ms"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          Printf.sprintf "%dx%d" r.size r.size;
+          Tablefmt.cell_int r.vars;
+          Tablefmt.cell_int r.components;
+          Tablefmt.cell_int r.component_max;
+          Tablefmt.cell_int r.articulation;
+          Tablefmt.cell_float ~digits:2 (ms r.mono_s);
+          Tablefmt.cell_float ~digits:2 (ms r.dec1_s);
+          Tablefmt.cell_float ~digits:2 (ms r.decn_s);
+          Printf.sprintf "%.1fx" (ratio r.mono_s r.decn_s);
+        ])
+    reports;
+  Tablefmt.print t;
+
+  let t = Tablefmt.create
+      [ "size"; "warm ms"; "warm speedup"; "portfolio ms"; "winners"; "cache hit rate" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          Printf.sprintf "%dx%d" r.size r.size;
+          Tablefmt.cell_float ~digits:2 (ms r.warm_s);
+          Printf.sprintf "%.1fx" (ratio r.decn_s r.warm_s);
+          Tablefmt.cell_float ~digits:2 (ms r.portfolio_s);
+          r.winners;
+          Printf.sprintf "%.2f" r.cache_hit_rate;
+        ])
+    reports;
+  Tablefmt.print t;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%dx%d: %d moments, mono %d probes (mean delta %.4f), dec %d solves (mean delta %.4f), identical=%b verified=%b\n"
+        r.size r.size r.moments r.mono_probes r.mono_delta_mean r.dec_solves r.dec_delta_mean
+        r.identical r.verified)
+    reports;
+
+  let doc =
+    Json.Obj
+      [
+        ("label", Json.String "smt-scale");
+        ("topology", Json.String name);
+        ("jobs", Json.Int (if scrub then 0 else Pool.default_jobs ()));
+        ("moments", Json.Int moments);
+        ("density", Json.Float density);
+        ("tolerance", Json.Float tolerance);
+        ( "sizes",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("size", Json.Int r.size);
+                     ("qubits", Json.Int r.qubits);
+                     ("couplings", Json.Int r.couplings);
+                     ("articulation_points", Json.Int r.articulation);
+                     ("moments_measured", Json.Int r.moments);
+                     ("vars", Json.Int r.vars);
+                     ("components", Json.Int r.components);
+                     ("component_max", Json.Int r.component_max);
+                     ( "monolithic",
+                       Json.Obj
+                         [
+                           ("ms", Json.Float (ms r.mono_s));
+                           ("probes", Json.Int r.mono_probes);
+                           ("delta_mean", Json.Float r.mono_delta_mean);
+                         ] );
+                     ( "decomposed",
+                       Json.Obj
+                         [
+                           ("ms_jobs1", Json.Float (ms r.dec1_s));
+                           ("ms_jobsn", Json.Float (ms r.decn_s));
+                           ("solves", Json.Int r.dec_solves);
+                           ("delta_mean", Json.Float r.dec_delta_mean);
+                           ("speedup_vs_monolithic", Json.Float (ratio r.mono_s r.decn_s));
+                         ] );
+                     ("identical_any_jobs", Json.Bool r.identical);
+                     ("witnesses_verified", Json.Bool r.verified);
+                     ( "warm",
+                       Json.Obj
+                         [
+                           ("warm_ms", Json.Float (ms r.warm_s));
+                           ("speedup_vs_cold", Json.Float (ratio r.decn_s r.warm_s));
+                         ] );
+                     ( "portfolio",
+                       Json.Obj
+                         [
+                           ("ms", Json.Float (ms r.portfolio_s));
+                           ("winners", Json.String r.winners);
+                         ] );
+                     ( "cache",
+                       Json.Obj
+                         [
+                           ("solves", Json.Int r.cache_solves);
+                           ("hits", Json.Int r.cache_hits);
+                           ("hit_rate", Json.Float r.cache_hit_rate);
+                         ] );
+                   ])
+               reports) );
+      ]
+  in
+  let oc = open_out "BENCH_smt_scale.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_smt_scale.json\n%!"

@@ -129,7 +129,7 @@ let emit_json measurements =
   in
   (* Cache effectiveness travels with the timings: a perf regression caused
      by a cold or thrashing memo table is visible in the same artifact. *)
-  let cache_obj { Freq_alloc.hits; misses; entries } =
+  let cache_obj { Freq_alloc.hits; misses; entries; _ } =
     Json.Obj
       [ ("hits", Json.Int hits); ("misses", Json.Int misses); ("entries", Json.Int entries) ]
   in

@@ -186,13 +186,35 @@ let compile_cmd =
           ~doc:
             "Emit the pass-manager report as JSON instead of the human-readable output: \
              per-pass wall-clock, SMT solve counts, solver/pair cache deltas, scheduler \
-             statistics, and the evaluation metrics.")
+             statistics (including per-moment crosstalk component counts and warm-start \
+             hits), and the evaluation metrics.")
   in
-  let run topology_spec n seed bench alg verbose json draw chart trace input jobs =
+  let warm_start_arg =
+    Arg.(
+      value & flag
+      & info [ "warm-start" ]
+          ~doc:
+            "Seed each moment's frequency solve with the previous moment's witness \
+             (ColorDynamic family).  Witnesses may differ from the cold path within the \
+             solver tolerance.")
+  in
+  let decompose_arg =
+    Arg.(
+      value & flag
+      & info [ "decompose" ]
+          ~doc:
+            "Allocate each connected component of a moment's active crosstalk subgraph \
+             independently on the domain pool (deterministic at any --jobs).")
+  in
+  let run topology_spec n seed bench alg verbose json draw chart trace warm_start decompose
+      input jobs =
     match apply_jobs jobs with
     | `Error _ as e -> e
     | `Ok () ->
       let algorithm = parse_algorithm alg in
+      let options =
+        { Compile.default_options with Compile.warm_start; decompose_components = decompose }
+      in
       let external_circuit =
         match input with
         | None -> Ok None
@@ -219,7 +241,8 @@ let compile_cmd =
               in
             if trace then begin
               let ctx =
-                Pass.execute ~algorithm:(Compile.algorithm_to_string algorithm) device circuit
+                Pass.execute ~options ~algorithm:(Compile.algorithm_to_string algorithm)
+                  device circuit
               in
               (match Schedule.check (Pass.Context.schedule_exn ctx) with
               | Ok () -> ()
@@ -228,7 +251,7 @@ let compile_cmd =
               `Ok ()
             end
             else begin
-            let schedule = Compile.run algorithm device circuit in
+            let schedule = Compile.run ~options algorithm device circuit in
             (match Schedule.check schedule with
             | Ok () -> ()
             | Error msg -> failwith ("invalid schedule: " ^ msg));
@@ -256,7 +279,8 @@ let compile_cmd =
     Term.(
       ret
         (const run $ topology_arg $ size_arg $ seed_arg $ bench_arg $ algorithm_arg
-       $ verbose_arg $ json_arg $ draw_arg $ chart_arg $ trace_arg $ input_arg $ jobs_arg))
+       $ verbose_arg $ json_arg $ draw_arg $ chart_arg $ trace_arg $ warm_start_arg
+       $ decompose_arg $ input_arg $ jobs_arg))
 
 (* fastsc qasm *)
 let qasm_cmd =

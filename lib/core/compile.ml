@@ -59,6 +59,8 @@ type options = Pass.options = {
   placement : [ `Identity | `Degree | `Coherence | `Auto ];
   optimize : bool;
   router : [ `Greedy | `Lookahead ];
+  warm_start : bool;
+  decompose_components : bool;
 }
 
 let default_options = Pass.default_options

@@ -64,6 +64,13 @@ type options = Pass.options = {
       (** SWAP-insertion strategy: per-gate shortest paths, or SABRE-style
           lookahead scoring (default; the `ablate-router` bench measures the
           difference). *)
+  warm_start : bool;
+      (** Warm-start each moment's frequency solve from the previous moment's
+          witness (default false; witnesses may differ within the solver
+          tolerance, so the default keeps golden outputs byte-identical). *)
+  decompose_components : bool;
+      (** Solve independent crosstalk components of each moment separately on
+          the domain pool (default false, same golden-output rationale). *)
 }
 (** Pipeline options — the same record as {!Pass.options}, re-exported so
     existing [Compile.default_options]-based code keeps working. *)

@@ -32,6 +32,13 @@ val active_subgraph : t -> int list -> Graph.t
 (** Subgraph induced by the active couplings of one time step
     (Algorithm 1 line 18). *)
 
+val components_of_active : t -> int list -> int list list
+(** Connected components of {!active_subgraph}, restricted to the active
+    vertices (each sorted ascending, components by smallest vertex; isolated
+    active couplings as singletons).  These are the independent allocation
+    subproblems of one moment: couplings in different components share no
+    crosstalk edge, so their frequency regions never constrain each other. *)
+
 val max_colors_mesh : int
 (** The paper's result (Fig 7): 8 colors suffice for maximum simultaneous
     operation on any 2-D mesh at distance 1. *)

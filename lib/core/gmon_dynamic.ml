@@ -1,7 +1,8 @@
 let run ?crosstalk_distance ?max_colors ?conflict_threshold ?(residual_coupling = 0.0)
-    device circuit =
+    ?warm_start ?decompose device circuit =
   let schedule, stats =
-    Color_dynamic.run ?crosstalk_distance ?max_colors ?conflict_threshold device circuit
+    Color_dynamic.run ?crosstalk_distance ?max_colors ?conflict_threshold ?warm_start
+      ?decompose device circuit
   in
   ( {
       schedule with
@@ -23,7 +24,9 @@ let scheduler : Pass.scheduler =
         run ~crosstalk_distance:options.Pass.crosstalk_distance
           ~max_colors:options.Pass.max_colors
           ~conflict_threshold:options.Pass.conflict_threshold
-          ~residual_coupling:options.Pass.residual_coupling device native
+          ~residual_coupling:options.Pass.residual_coupling
+          ~warm_start:options.Pass.warm_start
+          ~decompose:options.Pass.decompose_components device native
       in
       (schedule, Color_dynamic.pass_stats stats)
   end)

@@ -7,6 +7,8 @@ type options = {
   placement : [ `Identity | `Degree | `Coherence | `Auto ];
   optimize : bool;
   router : [ `Greedy | `Lookahead ];
+  warm_start : bool;
+  decompose_components : bool;
 }
 
 let default_options =
@@ -19,6 +21,8 @@ let default_options =
     placement = `Auto;
     optimize = false;
     router = `Lookahead;
+    warm_start = false;
+    decompose_components = false;
   }
 
 type stat_value =
@@ -93,6 +97,8 @@ module Context = struct
     smt_solves : int;
     solver_hits : int;
     solver_misses : int;
+    warm_hits : int;
+    warm_misses : int;
     pair_hits : int;
     pair_misses : int;
   }
@@ -175,6 +181,8 @@ module Context = struct
         ("hits", Json.Int stats.Freq_alloc.hits);
         ("misses", Json.Int stats.Freq_alloc.misses);
         ("entries", Json.Int stats.Freq_alloc.entries);
+        ("warm_hits", Json.Int stats.Freq_alloc.warm_hits);
+        ("warm_misses", Json.Int stats.Freq_alloc.warm_misses);
       ]
 
   let json_of_pair_cache (stats : Crosstalk.cache_stats) =
@@ -192,7 +200,13 @@ module Context = struct
         ("wall_ms", Json.Float (r.wall_ns /. 1e6));
         ("smt_solves", Json.Int r.smt_solves);
         ( "solver_cache",
-          Json.Obj [ ("hits", Json.Int r.solver_hits); ("misses", Json.Int r.solver_misses) ] );
+          Json.Obj
+            [
+              ("hits", Json.Int r.solver_hits);
+              ("misses", Json.Int r.solver_misses);
+              ("warm_hits", Json.Int r.warm_hits);
+              ("warm_misses", Json.Int r.warm_misses);
+            ] );
         ( "pair_cache",
           Json.Obj [ ("hits", Json.Int r.pair_hits); ("misses", Json.Int r.pair_misses) ] );
       ]
@@ -250,6 +264,8 @@ let make_pass pass_name f =
         smt_solves = Fastsc_smt.Smt.find_max_delta_count () - smt0;
         solver_hits = solver1.Freq_alloc.hits - solver0.Freq_alloc.hits;
         solver_misses = solver1.Freq_alloc.misses - solver0.Freq_alloc.misses;
+        warm_hits = solver1.Freq_alloc.warm_hits - solver0.Freq_alloc.warm_hits;
+        warm_misses = solver1.Freq_alloc.warm_misses - solver0.Freq_alloc.warm_misses;
         pair_hits = pair1.Crosstalk.hits - pair0.Crosstalk.hits;
         pair_misses = pair1.Crosstalk.misses - pair0.Crosstalk.misses;
       }

@@ -33,6 +33,15 @@ type options = {
           and degree placements and keeps whichever inserts fewer SWAPs. *)
   optimize : bool;  (** Run the peephole optimizer after decomposition. *)
   router : [ `Greedy | `Lookahead ];  (** SWAP-insertion strategy. *)
+  warm_start : bool;
+      (** Seed each moment's frequency solve with the previous moment's
+          witness (ColorDynamic family).  Off by default: warm-started solves
+          may land on a different (equally valid) witness within the solver
+          tolerance, and the defaults must keep golden outputs byte-identical. *)
+  decompose_components : bool;
+      (** Allocate each connected component of the active crosstalk subgraph
+          independently (pool-parallel, merged in component order).  Off by
+          default for the same golden-output reason. *)
 }
 
 val default_options : options
@@ -94,6 +103,8 @@ module Context : sig
     smt_solves : int;  (** {!Fastsc_smt.Smt.find_max_delta} calls made. *)
     solver_hits : int;  (** {!Freq_alloc} solver-cache hits during the pass. *)
     solver_misses : int;
+    warm_hits : int;  (** Warm-started solves whose seed was usable. *)
+    warm_misses : int;  (** Warm-started solves that fell back cold. *)
     pair_hits : int;  (** {!Fastsc_noise.Crosstalk} pair-cache hits. *)
     pair_misses : int;
   }

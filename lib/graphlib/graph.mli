@@ -61,6 +61,30 @@ val is_connected : t -> bool
 (** True when every vertex is reachable from vertex 0 (vacuously true for the
     empty graph). *)
 
+val components : t -> int list list
+(** Connected components.  Each component is sorted ascending and the
+    components are ordered by their smallest vertex, so the partition is a
+    pure function of the graph — the determinism anchor for everything that
+    fans components out over the domain pool.  Isolated vertices appear as
+    singleton components. *)
+
+val component_ids : t -> int array * int
+(** [(ids, k)] where [ids.(v)] is the index of [v]'s component in
+    {!components} order and [k] the component count. *)
+
+val biconnected_components : t -> (int * int) list list
+(** Partition of the {e edges} into biconnected components (Hopcroft–Tarjan
+    lowpoint search).  Each component's edges are canonical [(u, v)], [u < v],
+    sorted; component order follows DFS completion from vertex 0 upward and is
+    deterministic.  Bridges appear as single-edge components; isolated
+    vertices appear in none (the partition covers edges, not vertices). *)
+
+val articulation_points : t -> int list
+(** Sorted list of cut vertices — vertices whose removal disconnects their
+    component.  A cheap decomposability signal for the solver benches: a
+    constraint graph rich in articulation points splits further under edge
+    removal than its component count alone suggests. *)
+
 val complement_vertices : t -> int list -> int list
 (** [complement_vertices g vs] is the sorted list of vertices not in [vs]. *)
 

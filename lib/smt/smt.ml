@@ -106,21 +106,27 @@ let candidates t ~delta placed v ~floor =
     in
     least :: List.sort_uniq compare (List.filter (fun x -> x > least +. epsilon) ends)
 
-let solve_ordered t ~delta order =
+(* [stop] is polled once per search node; when it fires the search abandons
+   the branch and unwinds with "no solution".  Only the portfolio racer sets
+   it — a cancelled task's result is discarded there, so the early [None]
+   never masquerades as a genuine infeasibility. *)
+let solve_ordered ?(stop = fun () -> false) t ~delta order =
   let placed = Array.make t.n None in
   let rec place remaining floor =
-    match remaining with
-    | [] -> true
-    | v :: rest ->
-      let try_value value =
-        placed.(v) <- Some value;
-        if place rest value then true
-        else begin
-          placed.(v) <- None;
-          false
-        end
-      in
-      List.exists try_value (candidates t ~delta placed v ~floor)
+    if stop () then false
+    else
+      match remaining with
+      | [] -> true
+      | v :: rest ->
+        let try_value value =
+          placed.(v) <- Some value;
+          if place rest value then true
+          else begin
+            placed.(v) <- None;
+            false
+          end
+        in
+        List.exists try_value (candidates t ~delta placed v ~floor)
   in
   if place order neg_infinity then
     Some (Array.map (function Some x -> x | None -> nan) placed)
@@ -208,14 +214,129 @@ let verify t ~delta assignment = violations t ~delta assignment = []
 
 let check = verify
 
-let solve ?order t ~delta =
+(* Smallest slack of any constraint under [assignment]: the largest delta at
+   which the assignment still verifies.  None when the assignment is invalid
+   independently of delta (wrong length, NaN, outside bounds).  This is what
+   makes warm starts sound: a previous moment's witness with margin [m] is a
+   ready-made feasible point for every delta <= m, so the binary search can
+   open at [lo = m] instead of probing delta = 0. *)
+let margin t assignment =
+  if Array.length assignment <> t.n then None
+  else begin
+    let ok = ref true in
+    for v = 0 to t.n - 1 do
+      if
+        (not (Float.is_finite assignment.(v)))
+        || assignment.(v) < t.lo.(v) -. epsilon
+        || assignment.(v) > t.hi.(v) +. epsilon
+      then ok := false
+    done;
+    if not !ok then None
+    else begin
+      let m = ref infinity in
+      List.iter
+        (fun { i; j; offset } ->
+          let slack =
+            if i = j then Float.abs offset
+            else Float.abs (assignment.(i) +. offset -. assignment.(j))
+          in
+          if slack < !m then m := slack)
+        t.seps;
+      List.iter
+        (fun (v, center) ->
+          let slack = Float.abs (assignment.(v) -. center) in
+          if slack < !m then m := slack)
+        t.forbidden;
+      Some !m
+    end
+  end
+
+(* Variables connected (transitively) by binary separations must be placed
+   together; everything else is independent.  Self-sidebands and forbidden
+   zones are unary, so they never join components.  Ordering is inherited
+   from Graph.components: each component ascending, components by smallest
+   variable — a pure function of the problem, which is what keeps the
+   decomposed solve deterministic at any job count. *)
+let component_partition t =
+  let g = Fastsc_graphlib.Graph.create t.n in
+  List.iter
+    (fun { i; j; _ } -> if i <> j then Fastsc_graphlib.Graph.add_edge g i j)
+    t.seps;
+  Fastsc_graphlib.Graph.components g
+
+(* Restrict the problem to one component.  [globals.(k)] is the original id
+   of local variable [k]; seps and forbidden keep their relative list order,
+   so the subproblem built for the whole variable set is search-equivalent
+   to the original problem. *)
+let restrict t comp =
+  let globals = Array.of_list comp in
+  let n' = Array.length globals in
+  let local_of = Array.make t.n (-1) in
+  Array.iteri (fun k v -> local_of.(v) <- k) globals;
+  let sub =
+    {
+      n = n';
+      lo = Array.map (fun v -> t.lo.(v)) globals;
+      hi = Array.map (fun v -> t.hi.(v)) globals;
+      seps =
+        List.filter_map
+          (fun { i; j; offset } ->
+            if local_of.(i) >= 0 && local_of.(j) >= 0 then
+              Some { i = local_of.(i); j = local_of.(j); offset }
+            else None)
+          t.seps;
+      forbidden =
+        List.filter_map
+          (fun (v, center) ->
+            if local_of.(v) >= 0 then Some (local_of.(v), center) else None)
+          t.forbidden;
+    }
+  in
+  (sub, globals)
+
+(* Split a global sweep order into per-component local orders: each component
+   keeps the relative order its members had in the global list. *)
+let split_order t order comps =
+  let rank = Array.make t.n 0 in
+  List.iteri (fun k v -> rank.(v) <- k) order;
+  List.map
+    (fun comp ->
+      let local_of = Hashtbl.create (List.length comp) in
+      List.iteri (fun k v -> Hashtbl.replace local_of v k) comp;
+      List.map
+        (fun v -> Hashtbl.find local_of v)
+        (List.sort (fun a b -> compare rank.(a) rank.(b)) comp))
+    comps
+
+let validate_order t order =
+  if List.length order <> t.n then
+    invalid_arg "Smt.solve: order must list every variable exactly once"
+
+(* Solve one component's subproblem; [sub_order], when given, is already in
+   local variable ids. *)
+let solve_sub ?sub_order sub ~delta =
+  match sub_order with
+  | Some o -> solve_ordered sub ~delta o
+  | None -> if sub.n = 0 then Some [||] else solve_any sub ~delta
+
+let merge_component_witnesses t pieces =
+  let witness = Array.make t.n nan in
+  List.iter
+    (fun (globals, w) -> Array.iteri (fun k v -> witness.(v) <- w.(k)) globals)
+    pieces;
+  witness
+
+(* Monolithic whole-problem search: the pre-decomposition code path, kept as
+   the benchmark baseline and for callers that want the global monotone
+   contract of [~order] (an order spanning components couples them through
+   the shared floor, which per-component solving deliberately does not). *)
+let solve_monolithic ?order t ~delta =
   if not (self_constraints_ok t ~delta) then None
   else
     let result =
       match order with
       | Some order ->
-        if List.length order <> t.n then
-          invalid_arg "Smt.solve: order must list every variable exactly once";
+        validate_order t order;
         solve_ordered t ~delta order
       | None -> if t.n = 0 then Some [||] else solve_any t ~delta
     in
@@ -224,6 +345,73 @@ let solve ?order t ~delta =
       assert (check t ~delta assignment);
       Some assignment
     | None -> None
+
+(* The unordered path decomposes: independent components are solved one by
+   one on their own restricted problems.  Single-component problems (every
+   complete-graph allocation the compiler builds today) dispatch to the
+   exact pre-decomposition search, so existing witnesses are bit-identical.
+   The ordered path stays monolithic — the global monotone contract spans
+   components by design. *)
+let solve ?order t ~delta =
+  match order with
+  | Some _ -> solve_monolithic ?order t ~delta
+  | None ->
+    if not (self_constraints_ok t ~delta) then None
+    else if t.n = 0 then Some [||]
+    else begin
+      let result =
+        match component_partition t with
+        | [] | [ _ ] -> solve_any t ~delta
+        | comps ->
+          let rec go acc = function
+            | [] -> Some (merge_component_witnesses t (List.rev acc))
+            | comp :: rest -> (
+              let sub, globals = restrict t comp in
+              match solve_sub sub ~delta with
+              | None -> None
+              | Some w -> go ((globals, w) :: acc) rest)
+          in
+          go [] comps
+      in
+      match result with
+      | Some assignment ->
+        assert (check t ~delta assignment);
+        Some assignment
+      | None -> None
+    end
+
+(* Pool-parallel component solve.  Byte-identical to {!solve}: components and
+   their subproblems are pure functions of [t], each cell runs the same
+   search [solve] would run sequentially, and Pool.map stores results by
+   input index — so the merged witness cannot depend on jobs or scheduling.
+   With [~order] each component receives the restriction of the global order
+   (no cross-component floor chaining, unlike monolithic [solve ~order]). *)
+let solve_components ?jobs ?order t ~delta =
+  if not (self_constraints_ok t ~delta) then None
+  else if t.n = 0 then Some [||]
+  else begin
+    Option.iter (validate_order t) order;
+    let comps = component_partition t in
+    let sub_orders =
+      match order with
+      | None -> List.map (fun _ -> None) comps
+      | Some order -> List.map Option.some (split_order t order comps)
+    in
+    let cells = List.combine comps sub_orders in
+    let pieces =
+      Fastsc_util.Pool.map ?jobs
+        (fun (comp, sub_order) ->
+          let sub, globals = restrict t comp in
+          Option.map (fun w -> (globals, w)) (solve_sub ?sub_order sub ~delta))
+        cells
+    in
+    if List.exists Option.is_none pieces then None
+    else begin
+      let witness = merge_component_witnesses t (List.map Option.get pieces) in
+      assert (check t ~delta witness);
+      Some witness
+    end
+  end
 
 let widest_range t =
   let w = ref 0.0 in
@@ -242,20 +430,56 @@ let find_max_delta_count () = Atomic.get solve_counter
 
 let reset_find_max_delta_count () = Atomic.set solve_counter 0
 
-let find_max_delta ?order ?(tolerance = 1e-4) ?delta_hi t =
+(* Respecting [order] means the witness must be non-decreasing along it; a
+   warm witness from another moment need not be, so it is only accepted as a
+   seed when it honours the contract the caller asked for. *)
+let monotone_along order assignment =
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      assignment.(a) <= assignment.(b) +. epsilon && walk rest
+    | _ -> true
+  in
+  walk order
+
+let find_max_delta ?order ?(tolerance = 1e-4) ?delta_hi ?warm t =
   Atomic.incr solve_counter;
   let delta_hi = match delta_hi with Some d -> d | None -> Float.max tolerance (widest_range t) in
-  match solve ?order t ~delta:0.0 with
+  (* Warm start: a previous witness with positive margin [m] is feasible for
+     every delta <= m, so it replaces the delta = 0 probe and opens the
+     search at [lo = m].  Invalid or non-monotone (under [order]) witnesses
+     fall back to the cold path — warm starting never changes feasibility,
+     only how much of the binary search is skipped. *)
+  let seeded =
+    match warm with
+    | None -> None
+    | Some w -> (
+      match margin t w with
+      | Some m
+        when m > 0.0
+             && (match order with None -> true | Some o -> monotone_along o w)
+        -> Some (Float.min m delta_hi, Array.copy w)
+      | _ -> None)
+  in
+  let base =
+    match seeded with
+    | Some _ -> seeded
+    | None -> (
+      match solve ?order t ~delta:0.0 with
+      | None -> None
+      | Some witness0 -> Some (0.0, witness0))
+  in
+  match base with
   | None -> None
-  | Some witness0 ->
-    let best = ref (0.0, witness0) in
-    let lo = ref 0.0 and hi = ref delta_hi in
+  | Some (d0, w0) ->
+    let best = ref (d0, w0) in
+    let lo = ref d0 and hi = ref delta_hi in
     (* Check the top first: if delta_hi itself is feasible we are done. *)
-    (match solve ?order t ~delta:delta_hi with
-    | Some w ->
-      best := (delta_hi, w);
-      lo := delta_hi
-    | None -> ());
+    if !lo < delta_hi then (
+      match solve ?order t ~delta:delta_hi with
+      | Some w ->
+        best := (delta_hi, w);
+        lo := delta_hi
+      | None -> ());
     while !hi -. !lo > tolerance do
       let mid = (!lo +. !hi) /. 2.0 in
       match solve ?order t ~delta:mid with
@@ -265,3 +489,131 @@ let find_max_delta ?order ?(tolerance = 1e-4) ?delta_hi t =
       | None -> hi := mid
     done;
     Some !best
+
+type component_solution = { members : int list; local_delta : float }
+
+(* Per-component binary searches, fanned over the pool.  The merged maximum
+   is the min over components (the binding component caps the global delta),
+   and each per-component witness stays feasible at that smaller value, so
+   the merged witness verifies at the merged delta.  Each component pays its
+   own find_max_delta (own solve_counter tick) — that is the solve count the
+   trace reports.  Deterministic at any job count: components, subproblems
+   and per-component searches are pure functions of [t], and results merge
+   in component index order. *)
+let find_max_delta_components ?jobs ?order ?(tolerance = 1e-4) ?delta_hi ?warm t =
+  let delta_hi = match delta_hi with Some d -> d | None -> Float.max tolerance (widest_range t) in
+  Option.iter (validate_order t) order;
+  match component_partition t with
+  | [] ->
+    Option.map
+      (fun (d, w) -> ((d, w), []))
+      (find_max_delta ?order ~tolerance ~delta_hi ?warm t)
+  | [ comp ] ->
+    Option.map
+      (fun (d, w) -> ((d, w), [ { members = comp; local_delta = d } ]))
+      (find_max_delta ?order ~tolerance ~delta_hi ?warm t)
+  | comps ->
+    let sub_orders =
+      match order with
+      | None -> List.map (fun _ -> None) comps
+      | Some order -> List.map Option.some (split_order t order comps)
+    in
+    let cells = List.combine comps sub_orders in
+    let results =
+      Fastsc_util.Pool.map ?jobs
+        (fun (comp, sub_order) ->
+          let sub, globals = restrict t comp in
+          let sub_warm =
+            Option.map (fun w -> Array.map (fun v -> w.(v)) globals) warm
+          in
+          Option.map
+            (fun (d, w) -> (comp, globals, d, w))
+            (find_max_delta ?order:sub_order ~tolerance ~delta_hi ?warm:sub_warm
+               sub))
+        cells
+    in
+    if List.exists Option.is_none results then None
+    else begin
+      let results = List.map Option.get results in
+      let delta =
+        List.fold_left (fun acc (_, _, d, _) -> Float.min acc d) delta_hi results
+      in
+      let witness =
+        merge_component_witnesses t
+          (List.map (fun (_, globals, _, w) -> (globals, w)) results)
+      in
+      assert (verify t ~delta witness);
+      let infos =
+        List.map
+          (fun (comp, _, d, _) -> { members = comp; local_delta = d })
+          results
+      in
+      Some ((delta, witness), infos)
+    end
+
+(* Ordering portfolio: race candidate sweep orders as pool tasks and keep the
+   lowest-index feasible one.  Task [i] may be cancelled only once some task
+   [j < i] has already succeeded, so every task below the eventual winner
+   always runs to completion — the winner is a pure function of the problem
+   and the portfolio, independent of jobs or scheduling. *)
+let solve_portfolio ?jobs t ~delta ~orders =
+  if orders = [] then invalid_arg "Smt.solve_portfolio: empty portfolio";
+  List.iter (validate_order t) orders;
+  if not (self_constraints_ok t ~delta) then None
+  else begin
+    let winner = Atomic.make max_int in
+    let claim i =
+      let rec spin () =
+        let cur = Atomic.get winner in
+        if i < cur && not (Atomic.compare_and_set winner cur i) then spin ()
+      in
+      spin ()
+    in
+    let attempts =
+      Fastsc_util.Pool.mapi ?jobs
+        (fun i order ->
+          if Atomic.get winner < i then None
+          else
+            let stop () = Atomic.get winner < i in
+            match solve_ordered ~stop t ~delta order with
+            | Some w ->
+              claim i;
+              Some w
+            | None -> None)
+        orders
+    in
+    let rec first i = function
+      | [] -> None
+      | Some w :: _ -> Some (i, w)
+      | None :: rest -> first (i + 1) rest
+    in
+    match first 0 attempts with
+    | Some (i, w) ->
+      assert (check t ~delta w);
+      Some (i, w)
+    | None -> None
+  end
+
+let find_max_delta_portfolio ?jobs ?(tolerance = 1e-4) ?delta_hi ~orders t =
+  Atomic.incr solve_counter;
+  let delta_hi = match delta_hi with Some d -> d | None -> Float.max tolerance (widest_range t) in
+  match solve_portfolio ?jobs t ~delta:0.0 ~orders with
+  | None -> None
+  | Some (i0, w0) ->
+    let best = ref (i0, 0.0, w0) in
+    let lo = ref 0.0 and hi = ref delta_hi in
+    (match solve_portfolio ?jobs t ~delta:delta_hi ~orders with
+    | Some (i, w) ->
+      best := (i, delta_hi, w);
+      lo := delta_hi
+    | None -> ());
+    while !hi -. !lo > tolerance do
+      let mid = (!lo +. !hi) /. 2.0 in
+      match solve_portfolio ?jobs t ~delta:mid ~orders with
+      | Some (i, w) ->
+        best := (i, mid, w);
+        lo := mid
+      | None -> hi := mid
+    done;
+    let i, d, w = !best in
+    Some (i, (d, w))

@@ -42,7 +42,44 @@ val add_forbidden : t -> int -> center:float -> t
 val solve : ?order:int list -> t -> delta:float -> float array option
 (** [solve t ~delta] finds a feasible assignment or [None].  With [order],
     the assignment additionally satisfies
-    [x_order(0) <= x_order(1) <= ...]. *)
+    [x_order(0) <= x_order(1) <= ...].
+
+    Without [order] the search decomposes: independent connected components
+    of the constraint graph (see {!component_partition}) are solved on their
+    own restricted subproblems and the witnesses merged.  Single-component
+    problems run the exact monolithic search, so witnesses for the
+    complete-graph problems the compiler builds are unchanged.  With [order]
+    the search stays monolithic — the global monotone chain deliberately
+    spans components. *)
+
+val solve_monolithic : ?order:int list -> t -> delta:float -> float array option
+(** The pre-decomposition whole-problem search, kept as the scaling
+    benchmark baseline.  Identical to {!solve} on single-component problems
+    and whenever [order] is given. *)
+
+val solve_components :
+  ?jobs:int -> ?order:int list -> t -> delta:float -> float array option
+(** Pool-parallel variant of the decomposed {!solve}: each component is a
+    pool task.  Byte-identical to [solve t ~delta] (without [order]) at any
+    [jobs] — subproblems are pure functions of [t] and results merge in
+    component index order.  With [order], each component receives the
+    restriction of the global order (its members in global relative order);
+    unlike monolithic [solve ~order] there is no cross-component floor, so
+    the two ordered variants may return different witnesses. *)
+
+val component_partition : t -> int list list
+(** Connected components of the constraint graph (variables joined by binary
+    separations; self-sidebands and forbidden zones are unary and join
+    nothing).  Each component is sorted ascending, components ordered by
+    smallest variable — the determinism anchor for the decomposed solvers. *)
+
+val margin : t -> float array -> float option
+(** [margin t a] is the smallest constraint slack of [a]: the largest delta
+    at which [a] still verifies ([verify t ~delta:m a] holds whenever
+    [m <= margin]).  [None] when [a] is invalid independently of delta
+    (wrong length, non-finite, out of bounds).  Feeds warm starts: a
+    previous witness with margin [m] lets {!find_max_delta} open its binary
+    search at [lo = m]. *)
 
 type violation =
   | Length_mismatch of int  (** Assignment length (problem size expected). *)
@@ -82,9 +119,52 @@ val reset_find_max_delta_count : unit -> unit
 (** Zero the {!find_max_delta_count} counter (tests, cold-cost measurements). *)
 
 val find_max_delta :
-  ?order:int list -> ?tolerance:float -> ?delta_hi:float -> t ->
-  (float * float array) option
+  ?order:int list -> ?tolerance:float -> ?delta_hi:float -> ?warm:float array ->
+  t -> (float * float array) option
 (** Binary search for the maximum feasible [delta] (within [tolerance],
     default [1e-4]); returns the witness assignment found at that [delta].
     [None] when even [delta = 0] is infeasible.  [delta_hi] bounds the search
-    from above (defaults to the widest variable range). *)
+    from above (defaults to the widest variable range).
+
+    [warm] seeds the search with a previous witness: when it has positive
+    {!margin} [m] (and is monotone along [order], if given) the delta = 0
+    probe is skipped and the search opens at [lo = m], typically saving most
+    of the feasible-side probes.  An invalid seed silently falls back to the
+    cold path, so warm starting never changes feasibility — and because the
+    ordered search only restricts the problem, a warm result can never beat
+    the cold unordered maximum by more than [tolerance]. *)
+
+type component_solution = {
+  members : int list;  (** Global variable ids of the component, ascending. *)
+  local_delta : float;  (** That component's own maximum delta. *)
+}
+
+val find_max_delta_components :
+  ?jobs:int -> ?order:int list -> ?tolerance:float -> ?delta_hi:float ->
+  ?warm:float array -> t ->
+  ((float * float array) * component_solution list) option
+(** Decomposed {!find_max_delta}: each constraint-graph component runs its
+    own binary search as a pool task (each ticking {!find_max_delta_count}
+    once), the global maximum is the min over components, and the merged
+    witness verifies at that delta.  Deterministic at any [jobs] — results
+    merge in component index order.  Problems with at most one component
+    delegate to {!find_max_delta}.  [warm]/[order] are restricted
+    per-component (members in global relative order); [None] if any
+    component is infeasible even at delta = 0. *)
+
+val solve_portfolio :
+  ?jobs:int -> t -> delta:float -> orders:int list list ->
+  (int * float array) option
+(** Race a portfolio of sweep orders as pool tasks; returns the
+    lowest-index feasible order and its witness.  A task may be cancelled
+    only once a lower-index task has succeeded, so every order below the
+    winner runs to completion and the result is a pure function of the
+    problem and portfolio — independent of [jobs] and scheduling.
+    @raise Invalid_argument on an empty portfolio or a malformed order. *)
+
+val find_max_delta_portfolio :
+  ?jobs:int -> ?tolerance:float -> ?delta_hi:float -> orders:int list list ->
+  t -> (int * (float * float array)) option
+(** Binary search over {!solve_portfolio}: at each probed delta the portfolio
+    races and the lowest-index feasible order wins.  Returns the winning
+    order index of the final retained probe with its (delta, witness). *)

@@ -104,6 +104,68 @@ let prop_verify_rejects_corrupted =
                (the move may also leave the bounds; either way, a violation) *)
             not (Smt.verify t ~delta:s.delta corrupted)))
 
+(* -- decomposition and warm-start properties ------------------------------- *)
+
+(* Sparser instances than [gen_spec]: up to 10 variables with only ~n random
+   separations, so the constraint graph routinely splits into several
+   components — the regime the decomposed solvers exist for. *)
+let gen_sparse_spec rng =
+  let n = Proptest.Gen.int_range 2 10 rng in
+  let bound _ =
+    let lo = Rng.uniform rng 0.0 8.0 in
+    (lo, lo +. Rng.uniform rng 0.5 4.0)
+  in
+  let sep _ =
+    let i = Rng.int rng n in
+    let j = Rng.int rng n in
+    let offset = Rng.choose rng [| 0.0; 0.3; -0.3 |] in
+    if i = j && offset = 0.0 then (i, j, 0.3) else (i, j, offset)
+  in
+  let bounds = Proptest.Gen.array ~min_len:n ~max_len:n bound rng in
+  let seps = Proptest.Gen.list ~max_len:n sep rng in
+  { n; bounds; seps; delta = Rng.uniform rng 0.0 1.5 }
+
+let sparse_arb = Proptest.make ~shrink:shrink_spec ~print:print_spec gen_sparse_spec
+
+let prop_decomposed_solve_identical =
+  prop_case "solve_components is byte-identical to solve at any jobs" sparse_arb (fun s ->
+      let t = build s in
+      let reference = Smt.solve t ~delta:s.delta in
+      List.for_all
+        (fun jobs -> Smt.solve_components ~jobs t ~delta:s.delta = reference)
+        [ 1; 2; 4 ]
+      && match reference with None -> true | Some w -> Smt.verify t ~delta:s.delta w)
+
+let prop_decomposed_max_delta_min_merge =
+  prop_case "find_max_delta_components min-merges verified witnesses" sparse_arb (fun s ->
+      let t = build s in
+      match Smt.find_max_delta_components ~jobs:4 ~tolerance:1e-5 t with
+      | None -> Smt.solve t ~delta:0.0 = None
+      | Some ((delta, w), infos) ->
+        let members = List.concat_map (fun (i : Smt.component_solution) -> i.Smt.members) infos in
+        List.sort compare members = List.init s.n Fun.id
+        && List.for_all
+             (fun (i : Smt.component_solution) -> i.Smt.local_delta >= delta -. 1e-9)
+             infos
+        && Smt.verify t ~delta w
+        (* the sequentially-decomposed search agrees within tolerance *)
+        && (match Smt.find_max_delta ~tolerance:1e-5 t with
+           | None -> false
+           | Some (ds, _) -> Float.abs (ds -. delta) <= 3e-5))
+
+let prop_warm_never_beats_cold =
+  prop_case "warm-started search verifies and never beats cold" sparse_arb (fun s ->
+      let t = build s in
+      match Smt.find_max_delta ~tolerance:1e-5 t with
+      | None -> true
+      | Some (dc, wc) -> (
+        (* seeding with the cold witness never changes feasibility, and both
+           searches land within tolerance of the same maximum *)
+        match Smt.find_max_delta ~tolerance:1e-5 ~warm:wc t with
+        | None -> false
+        | Some (dw, ww) ->
+          Smt.verify t ~delta:dw ww && Float.abs (dw -. dc) <= 3e-5))
+
 let test_violations_reporting () =
   let t = Smt.create ~lo:0.0 ~hi:1.0 2 in
   Smt.add_separation t 0 1;
@@ -127,5 +189,8 @@ let suite =
     prop_ordered_solve_is_monotone;
     prop_verify_rejects_nan;
     prop_verify_rejects_corrupted;
+    prop_decomposed_solve_identical;
+    prop_decomposed_max_delta_min_merge;
+    prop_warm_never_beats_cold;
     Alcotest.test_case "violations reporting" `Quick test_violations_reporting;
   ]
