@@ -1,0 +1,49 @@
+(* Standalone entry point for the tier-W perf gate: compare a fresh benchmark
+   JSON document against a committed baseline.
+
+     perf_gate --baseline bench/baselines/sim.json --fresh BENCH_sim.json
+
+   Exit codes: 0 the gate passes; 1 a regression (timing past tolerance or a
+   deterministic field drifted); 2 the documents are unreadable or not
+   comparable (IO error, JSON parse error, structural mismatch). *)
+
+let usage = "perf_gate --baseline FILE --fresh FILE [--tolerance FRACTION] [--label NAME]"
+
+let () =
+  let baseline = ref "" and fresh = ref "" in
+  let tolerance = ref Fastsc_verify.Perf_gate.default_tolerance in
+  let label = ref "" in
+  let spec =
+    [
+      ("--baseline", Arg.Set_string baseline, "FILE committed baseline JSON");
+      ("--fresh", Arg.Set_string fresh, "FILE freshly produced benchmark JSON");
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        Printf.sprintf "FRACTION median-regression tolerance (default %.2f)"
+          Fastsc_verify.Perf_gate.default_tolerance );
+      ("--label", Arg.Set_string label, "NAME label for the report (default: fresh file name)");
+    ]
+  in
+  Arg.parse spec (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon))) usage;
+  if !baseline = "" || !fresh = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let label = if !label = "" then Filename.basename !fresh else !label in
+  match
+    ( Fastsc_util.Json.parse_file !baseline,
+      Fastsc_util.Json.parse_file !fresh )
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "perf_gate: %s\n" msg;
+    exit 2
+  | exception Fastsc_util.Json.Parse_error msg ->
+    Printf.eprintf "perf_gate: %s\n" msg;
+    exit 2
+  | baseline_doc, fresh_doc ->
+    let result = Fastsc_verify.Perf_gate.compare_docs ~baseline:baseline_doc ~fresh:fresh_doc in
+    print_string (Fastsc_verify.Perf_gate.render ~tolerance:!tolerance ~label result);
+    (match Fastsc_verify.Perf_gate.evaluate ~tolerance:!tolerance result with
+    | Ok -> exit 0
+    | Regression _ -> exit 1
+    | Structural _ -> exit 2)

@@ -23,6 +23,11 @@ type key = {
   k_order : int list option;
 }
 
+(* Seeded faults for the verification harness (docs/DESIGN.md §11). *)
+let fault_stale_reset = lazy (Fault.enabled "freq-cache-stale-reset")
+
+let fault_alpha_key = lazy (Fault.enabled "freq-cache-key-alpha")
+
 let cache : (key, float * float array) Hashtbl.t = Hashtbl.create 64
 
 let cache_mutex = Mutex.create ()
@@ -57,7 +62,7 @@ let solver_cache_stats () =
 
 let reset_solver_cache () =
   Mutex.lock cache_mutex;
-  Hashtbl.reset cache;
+  if not (Lazy.force fault_stale_reset) then Hashtbl.reset cache;
   cache_hits := 0;
   cache_misses := 0;
   warm_hits := 0;
@@ -122,7 +127,8 @@ let solve_separated ?warm ?warm_used ~lo ~hi ~alpha ~order n =
        breaking the any-jobs byte-identity contract. *)
     solve_separated_uncached ?warm ?warm_used ~lo ~hi ~alpha ~order n
   | None ->
-    let key = { k_n = n; k_lo = lo; k_hi = hi; k_alpha = alpha; k_order = order } in
+    let k_alpha = if Lazy.force fault_alpha_key then 0.0 else alpha in
+    let key = { k_n = n; k_lo = lo; k_hi = hi; k_alpha; k_order = order } in
     Mutex.lock cache_mutex;
     let cached = Hashtbl.find_opt cache key in
     (match cached with

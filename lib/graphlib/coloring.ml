@@ -4,6 +4,9 @@ let smallest_free used =
   let rec scan k = if List.mem k used then scan (k + 1) else k in
   scan 0
 
+(* Seeded fault for the verification harness (docs/DESIGN.md §11). *)
+let fault_greedy_clash = lazy (Fastsc_util.Fault.enabled "color-greedy-clash")
+
 let greedy ~order g =
   let n = Graph.n_vertices g in
   if List.length order <> n then
@@ -23,7 +26,7 @@ let greedy ~order g =
           (fun u -> if colors.(u) >= 0 then Some colors.(u) else None)
           (Graph.neighbors g v)
       in
-      colors.(v) <- smallest_free used)
+      colors.(v) <- (if Lazy.force fault_greedy_clash then 0 else smallest_free used))
     order;
   colors
 

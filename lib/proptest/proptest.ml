@@ -137,18 +137,30 @@ type 'a arbitrary = {
   gen : 'a Gen.t;
   shrink : 'a Shrink.t;
   print : 'a -> string;
+  size : 'a -> int;
 }
 
-let make ?(shrink = Shrink.nothing) ?(print = fun _ -> "<opaque>") gen =
-  { gen; shrink; print }
+let make ?(shrink = Shrink.nothing) ?(print = fun _ -> "<opaque>") ?(size = fun _ -> 0) gen =
+  { gen; shrink; print; size }
 
 let int_range lo hi =
-  { gen = Gen.int_range lo hi; shrink = Shrink.int_toward lo; print = string_of_int }
+  {
+    gen = Gen.int_range lo hi;
+    shrink = Shrink.int_toward lo;
+    print = string_of_int;
+    size = (fun x -> abs x);
+  }
 
 let float_range lo hi =
-  { gen = Gen.float_range lo hi; shrink = Shrink.float_toward lo; print = string_of_float }
+  {
+    gen = Gen.float_range lo hi;
+    shrink = Shrink.float_toward lo;
+    print = string_of_float;
+    size = (fun _ -> 0);
+  }
 
-let bool = { gen = Gen.bool; shrink = Shrink.nothing; print = string_of_bool }
+let bool =
+  { gen = Gen.bool; shrink = Shrink.nothing; print = string_of_bool; size = (fun _ -> 0) }
 
 let print_list print xs = "[" ^ String.concat "; " (List.map print xs) ^ "]"
 
@@ -157,6 +169,7 @@ let pair a b =
     gen = Gen.pair a.gen b.gen;
     shrink = Shrink.pair a.shrink b.shrink;
     print = (fun (x, y) -> Printf.sprintf "(%s, %s)" (a.print x) (b.print y));
+    size = (fun (x, y) -> a.size x + b.size y);
   }
 
 let list ?min_len ~max_len elt =
@@ -164,6 +177,7 @@ let list ?min_len ~max_len elt =
     gen = Gen.list ?min_len ~max_len elt.gen;
     shrink = Shrink.list ~elt:elt.shrink;
     print = print_list elt.print;
+    size = List.length;
   }
 
 let array ?min_len ~max_len elt =
@@ -171,6 +185,7 @@ let array ?min_len ~max_len elt =
     gen = Gen.array ?min_len ~max_len elt.gen;
     shrink = Shrink.array ~elt:elt.shrink;
     print = (fun xs -> print_list elt.print (Array.to_list xs));
+    size = Array.length;
   }
 
 (* -- structural generators over the compiler's own data types -------------- *)
@@ -205,11 +220,14 @@ let graph_shrink g =
   in
   Seq.append smaller (Seq.map drop_edge (List.to_seq edges))
 
+let graph_size g = Graph.n_vertices g + List.length (Graph.edges g)
+
 let graph ?(min_vertices = 0) ~max_vertices ~edge_prob () =
   {
     gen = graph_gen ~min_vertices ~max_vertices ~edge_prob;
     shrink = graph_shrink;
     print = print_graph;
+    size = graph_size;
   }
 
 let bipartite_graph ~max_side ~edge_prob () =
@@ -233,7 +251,7 @@ let bipartite_graph ~max_side ~edge_prob () =
         h)
       (List.to_seq (Graph.edges g))
   in
-  { gen; shrink; print = print_graph }
+  { gen; shrink; print = print_graph; size = graph_size }
 
 (* The full gate set, the parametric families included: invariants that only
    hold for Cliffords would be caught out by the rotation angles here. *)
@@ -299,6 +317,7 @@ let circuit ~max_qubits ~max_gates () =
     gen = circuit_gen ~max_qubits ~max_gates;
     shrink = circuit_shrink;
     print = (fun c -> Format.asprintf "%d qubits:@ %a" (Circuit.n_qubits c) Circuit.pp c);
+    size = (fun c -> Circuit.n_qubits c + Array.length (Circuit.instructions c));
   }
 
 (* -- the runner ------------------------------------------------------------ *)
@@ -311,6 +330,7 @@ type failure = {
   original : string;
   shrunk : string;
   shrink_steps : int;
+  shrunk_size : int;
   exn : string option;
   message : string;
 }
@@ -374,18 +394,20 @@ let run ?seed (Test t) =
            to whichever passing candidate the shrinker probed last *)
         ignore (holds shrunk : bool);
         let exn = !last_exn in
+        let shrunk_size = t.arb.size shrunk in
         let message =
           Printf.sprintf
             "property %S failed at case %d/%d (seed %d)\n\
             \  counterexample:    %s\n\
             \  shrunk (%d steps): %s\n\
              %s\
-            \  replay: FASTSC_PROPTEST_SEED=%d FASTSC_PROPTEST_COUNT=1 re-runs exactly this case"
+            \  replay: FASTSC_PROPTEST_SEED=%d FASTSC_PROPTEST_COUNT=1 re-runs exactly this \
+             case (%d shrink steps, final size %d)"
             t.name (k + 1) count case_seed original shrink_steps (t.arb.print shrunk)
             (match exn with
             | Some e -> Printf.sprintf "  raised:            %s\n" e
             | None -> "")
-            case_seed
+            case_seed shrink_steps shrunk_size
         in
         Fail
           {
@@ -396,6 +418,7 @@ let run ?seed (Test t) =
             original;
             shrunk = t.arb.print shrunk;
             shrink_steps;
+            shrunk_size;
             exn;
             message;
           }

@@ -89,10 +89,16 @@ type 'a arbitrary = {
   gen : 'a Gen.t;
   shrink : 'a Shrink.t;
   print : 'a -> string;
+  size : 'a -> int;
+      (** Structural size of a value (list length, vertices + edges, qubits +
+          gates...), reported alongside the shrink-step count so a failure
+          report says how small the minimum actually got. *)
 }
 
-val make : ?shrink:'a Shrink.t -> ?print:('a -> string) -> 'a Gen.t -> 'a arbitrary
-(** Default shrinker is {!Shrink.nothing}; default printer is ["<opaque>"]. *)
+val make :
+  ?shrink:'a Shrink.t -> ?print:('a -> string) -> ?size:('a -> int) -> 'a Gen.t -> 'a arbitrary
+(** Default shrinker is {!Shrink.nothing}; default printer is ["<opaque>"];
+    default size is constant [0] (unknown structure). *)
 
 val int_range : int -> int -> int arbitrary
 (** Shrinks toward the lower bound. *)
@@ -134,6 +140,7 @@ type failure = {
   original : string;  (** Printed counterexample as generated. *)
   shrunk : string;  (** Printed minimal counterexample. *)
   shrink_steps : int;
+  shrunk_size : int;  (** {!arbitrary.size} of the minimal counterexample. *)
   exn : string option;  (** Set when the property raised rather than returned [false]. *)
   message : string;  (** Full human-readable report, including the replay line. *)
 }

@@ -5,6 +5,12 @@
    suite checks this module against. *)
 type t = { n : int; re : float array; im : float array }
 
+(* Seeded faults for the verification harness (docs/DESIGN.md §11); resolved
+   once, so the kernels pay one forced-lazy read per call, never per index. *)
+let fault_scatter = lazy (Fault.enabled "sim-scatter-off-by-one")
+
+let fault_operand_swap = lazy (Fault.enabled "sim-operand-swap")
+
 let create n =
   if n < 1 || n > 24 then invalid_arg "Statevector.create: supported range is 1..24 qubits";
   let dim = 1 lsl n in
@@ -60,8 +66,9 @@ let apply_matrix1 t m q =
   let mask = 1 lsl q in
   let low = mask - 1 in
   let pairs = Array.length re lsr 1 in
+  let shift = if Lazy.force fault_scatter then q else q + 1 in
   for k = 0 to pairs - 1 do
-    let i0 = ((k lsr q) lsl (q + 1)) lor (k land low) in
+    let i0 = ((k lsr q) lsl shift) lor (k land low) in
     let i1 = i0 lor mask in
     let a0r = re.(i0) and a0i = im.(i0) in
     let a1r = re.(i1) and a1i = im.(i1) in
@@ -88,7 +95,10 @@ let apply_matrix2 t m q_first q_second =
   let m30r = er 3 0 and m30i = ei 3 0 and m31r = er 3 1 and m31i = ei 3 1 in
   let m32r = er 3 2 and m32i = ei 3 2 and m33r = er 3 3 and m33i = ei 3 3 in
   let re = t.re and im = t.im in
-  let hi = 1 lsl q_first and lo = 1 lsl q_second in
+  let hi, lo =
+    if Lazy.force fault_operand_swap then (1 lsl q_second, 1 lsl q_first)
+    else (1 lsl q_first, 1 lsl q_second)
+  in
   (* Enumerate the indices with both operand bits clear by scattering the
      counter around the two bit positions (lowest position first). *)
   let p = min q_first q_second and r = max q_first q_second in

@@ -10,6 +10,13 @@ type t = {
 
 let epsilon = 1e-9
 
+(* Seeded faults for the verification harness (docs/DESIGN.md §11): each is a
+   deliberate bug, off unless FASTSC_FAULT selects it, that the test suite
+   must demonstrably catch. *)
+let fault_resolve_flip = lazy (Fastsc_util.Fault.enabled "smt-resolve-flip")
+
+let fault_sideband_skip = lazy (Fastsc_util.Fault.enabled "smt-sideband-skip")
+
 let create ?(lo = 0.0) ?(hi = 1.0) n =
   if n < 0 then invalid_arg "Smt.create: negative variable count";
   if lo > hi then invalid_arg "Smt.create: lo > hi";
@@ -58,9 +65,10 @@ let blocked_intervals t ~delta placed v =
 
 (* Self-sideband constraints |offset| >= delta do not depend on the values. *)
 let self_constraints_ok t ~delta =
-  List.for_all
-    (fun { i; j; offset } -> i <> j || Float.abs offset +. epsilon >= delta)
-    t.seps
+  Lazy.force fault_sideband_skip
+  || List.for_all
+       (fun { i; j; offset } -> i <> j || Float.abs offset +. epsilon >= delta)
+       t.seps
 
 (* Smallest value >= start that avoids every interval; None if it escapes
    [hi].  Blocked intervals are open, so landing exactly on an endpoint is
@@ -79,9 +87,11 @@ let self_constraints_ok t ~delta =
 let resolve_upward intervals ~hi start =
   let value = ref start in
   let bmax = ref neg_infinity in
+  let flipped = Lazy.force fault_resolve_flip in
   List.iter
     (fun (a, b) ->
-      if b >= !bmax -. epsilon then begin
+      let live = if flipped then b < !bmax -. epsilon else b >= !bmax -. epsilon in
+      if live then begin
         if !value > a +. epsilon && !value < b -. epsilon then value := b;
         if b > !bmax then bmax := b
       end)

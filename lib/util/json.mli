@@ -1,10 +1,12 @@
-(** Minimal JSON emitter.
+(** Minimal JSON emitter and reader.
 
     Just enough JSON to hand schedules, metrics and control waveforms to
     external tooling (plotters, control stacks) without adding a dependency.
-    Writer only; strings are escaped per RFC 8259, floats printed with
-    round-trip precision, and non-finite floats encoded as strings (JSON has
-    no Infinity/NaN literals). *)
+    Strings are escaped per RFC 8259, floats printed with round-trip
+    precision, and non-finite floats encoded as strings (JSON has no
+    Infinity/NaN literals).  The reader exists for the verification harness:
+    the perf gate parses committed BENCH_*.json baselines, and the schema
+    tests parse [fastsc compile --trace] reports. *)
 
 type t =
   | Null
@@ -20,3 +22,21 @@ val to_string : ?pretty:bool -> t -> string
 
 val escape : string -> string
 (** The quoted, escaped form of a string (exposed for tests). *)
+
+exception Parse_error of string
+(** Raised by the reader on malformed input, with an offset and reason. *)
+
+val parse : string -> t
+(** Parse one JSON value (surrounding whitespace allowed; anything after the
+    value is an error).  Number tokens without ['.'], ['e'] or ['E'] become
+    {!Int}, all others {!Float}; [\u] escapes decode to UTF-8, surrogate
+    pairs included.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> t
+(** {!parse} the entire contents of a file; errors are prefixed with the
+    path. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field [key] of an {!Obj}, and [None] on a
+    missing key or any non-object value. *)

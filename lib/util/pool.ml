@@ -221,12 +221,18 @@ let run ?pool ?jobs n work =
 
 (* --- combinators --- *)
 
+(* Seeded fault for the verification harness (docs/DESIGN.md §11). *)
+let fault_scramble = lazy (Fault.enabled "pool-scramble")
+
 let mapi_array ?pool ?jobs f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
+    let scrambled = Lazy.force fault_scramble in
     let results = Array.make n None in
-    run ?pool ?jobs n (fun i -> results.(i) <- Some (f i xs.(i)));
+    run ?pool ?jobs n (fun i ->
+        let slot = if scrambled then n - 1 - i else i in
+        results.(slot) <- Some (f i xs.(i)));
     Array.map (function Some v -> v | None -> assert false) results
   end
 

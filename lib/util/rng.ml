@@ -16,9 +16,15 @@ let int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* Seeded fault for the verification harness (docs/DESIGN.md §11). *)
+let fault_split_alias = lazy (Fault.enabled "rng-split-alias")
+
 let split t =
-  let seed = int64 t in
-  { state = seed }
+  if Lazy.force fault_split_alias then { state = t.state }
+  else begin
+    let seed = int64 t in
+    { state = seed }
+  end
 
 let split_n t n =
   if n < 0 then invalid_arg "Rng.split_n: negative count";

@@ -1,0 +1,116 @@
+type outcome = Pass | Fail of string
+
+type cell = {
+  tier : string;
+  name : string;
+  detail : (string * Json.t) list;
+  outcome : outcome;
+  seconds : float;
+}
+
+let cell ?(detail = []) ~tier ~name ~seconds outcome =
+  { tier; name; detail; outcome; seconds }
+
+let passed c = match c.outcome with Pass -> true | Fail _ -> false
+
+(* Tier order is the execution order of the harness, not alphabetical. *)
+let tier_order = [ "R"; "D"; "W" ]
+
+let tiers cells =
+  let seen = List.filter (fun t -> List.exists (fun c -> c.tier = t) cells) tier_order in
+  let extra =
+    List.filter_map
+      (fun c -> if List.mem c.tier tier_order || List.mem c.tier seen then None else Some c.tier)
+      cells
+  in
+  seen @ List.sort_uniq compare extra
+
+type tier_summary = { ts_tier : string; ts_passed : int; ts_total : int; ts_seconds : float }
+
+let summarize cells =
+  List.map
+    (fun t ->
+      let mine = List.filter (fun c -> c.tier = t) cells in
+      {
+        ts_tier = t;
+        ts_passed = List.length (List.filter passed mine);
+        ts_total = List.length mine;
+        ts_seconds = List.fold_left (fun acc c -> acc +. c.seconds) 0.0 mine;
+      })
+    (tiers cells)
+
+let tier_label = function
+  | "R" -> "random"
+  | "D" -> "directed"
+  | "W" -> "workload"
+  | other -> other
+
+let summary_table cells =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "tier        cells  passed  failed  seconds\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-2s %-8s %6d %7d %7d %8.1f\n" s.ts_tier
+           (tier_label s.ts_tier) s.ts_total s.ts_passed (s.ts_total - s.ts_passed)
+           s.ts_seconds))
+    (summarize cells);
+  Buffer.contents buf
+
+let summary_line cells =
+  let per_tier =
+    List.map
+      (fun s -> Printf.sprintf "%s %d/%d" s.ts_tier s.ts_passed s.ts_total)
+      (summarize cells)
+  in
+  let failed = List.filter (fun c -> not (passed c)) cells in
+  let seconds = List.fold_left (fun acc c -> acc +. c.seconds) 0.0 cells in
+  Printf.sprintf "verify: %s | %s (%d cell%s, %.1fs)"
+    (if failed = [] then "PASS" else "FAIL")
+    (String.concat ", " per_tier) (List.length cells)
+    (if List.length cells = 1 then "" else "s")
+    seconds
+
+let outcome_to_json = function
+  | Pass -> Json.Obj [ ("status", Json.String "pass") ]
+  | Fail why -> Json.Obj [ ("status", Json.String "fail"); ("reason", Json.String why) ]
+
+let cell_to_json c =
+  Json.Obj
+    ([
+       ("tier", Json.String c.tier);
+       ("name", Json.String c.name);
+       ("outcome", outcome_to_json c.outcome);
+       ("seconds", Json.Float c.seconds);
+     ]
+    @ match c.detail with [] -> [] | d -> [ ("detail", Json.Obj d) ])
+
+let to_json ?(meta = []) cells =
+  let failed = List.filter (fun c -> not (passed c)) cells in
+  Json.Obj
+    (meta
+    @ [
+        ("pass", Json.Bool (failed = []));
+        ( "tiers",
+          Json.List
+            (List.map
+               (fun s ->
+                 Json.Obj
+                   [
+                     ("tier", Json.String s.ts_tier);
+                     ("label", Json.String (tier_label s.ts_tier));
+                     ("cells", Json.Int s.ts_total);
+                     ("passed", Json.Int s.ts_passed);
+                     ("seconds", Json.Float s.ts_seconds);
+                   ])
+               (summarize cells)) );
+        ("cells", Json.List (List.map cell_to_json cells));
+      ])
+
+let write ?meta path cells =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ?meta cells));
+      output_char oc '\n')

@@ -1,0 +1,48 @@
+(** The machine-readable record of a [make verify] run.
+
+    A run is a flat list of {e cells}: one spawned check each (a test-suite
+    invocation at a specific seed/jobs/count point, one seeded fault, one
+    workload determinism sweep, one perf-gate evaluation), tagged with the
+    tier it belongs to — R (random), D (directed), W (workload).  The driver
+    in [bin/verify.ml] appends cells as it goes and serializes the lot to
+    [verify_report.json] so CI and the next session can see exactly which
+    point of the sweep matrix failed and how to replay it. *)
+
+type outcome = Pass | Fail of string  (** [Fail reason] carries a one-line diagnosis. *)
+
+type cell = {
+  tier : string;  (** ["R"], ["D"] or ["W"]. *)
+  name : string;  (** Human-readable cell identity, e.g. ["prop_smt seed=+1 jobs=2"]. *)
+  detail : (string * Json.t) list;
+      (** Replay material: seed, jobs, count, command line, captured tail... *)
+  outcome : outcome;
+  seconds : float;  (** Wall-clock cost of the cell. *)
+}
+
+val cell :
+  ?detail:(string * Json.t) list ->
+  tier:string ->
+  name:string ->
+  seconds:float ->
+  outcome ->
+  cell
+
+val passed : cell -> bool
+
+type tier_summary = { ts_tier : string; ts_passed : int; ts_total : int; ts_seconds : float }
+
+val summarize : cell list -> tier_summary list
+(** Per-tier counts in R, D, W order (unknown tiers after, sorted). *)
+
+val summary_table : cell list -> string
+(** The aligned per-tier table [make verify] prints at the end. *)
+
+val summary_line : cell list -> string
+(** One line: overall PASS/FAIL, per-tier pass counts, total cells, seconds. *)
+
+val to_json : ?meta:(string * Json.t) list -> cell list -> Json.t
+(** The full report document; [meta] fields (mode, matrix, versions) are
+    prepended to the top-level object. *)
+
+val write : ?meta:(string * Json.t) list -> string -> cell list -> unit
+(** Serialize {!to_json} to a file, trailing newline included. *)

@@ -43,6 +43,26 @@ let test_solver_entries_grow_with_distinct_problems () =
   check_int "three distinct problems, three entries" 3 s.Freq_alloc.entries;
   check_int "three misses" 3 s.Freq_alloc.misses
 
+let test_solver_key_discriminates_alpha () =
+  (* two devices identical but for anharmonicity: the idle separation
+     problems then share (n, band, order) and differ only in the sideband
+     offset, so the memo key must keep them apart — a collision would hand
+     the second device the first one's frequencies *)
+  Freq_alloc.reset_solver_cache ();
+  let with_alpha anharmonicity =
+    Device.create
+      ~params:{ Device.default_params with Device.anharmonicity }
+      ~seed:11 (Topology.grid 3 3)
+  in
+  let _, a1 = Freq_alloc.idle (with_alpha 0.2) in
+  let _, a2 = Freq_alloc.idle (with_alpha 0.34) in
+  let s = Freq_alloc.solver_cache_stats () in
+  check_int "distinct sideband offsets are distinct keys" 2 s.Freq_alloc.misses;
+  check_int "no false hit across offsets" 0 s.Freq_alloc.hits;
+  check_int "both stored" 2 s.Freq_alloc.entries;
+  check_true "sideband offset changes the achievable separation"
+    (a1.Freq_alloc.delta <> a2.Freq_alloc.delta)
+
 let test_solver_copy_on_hit () =
   let d = device () in
   Freq_alloc.reset_solver_cache ();
@@ -169,6 +189,8 @@ let suite =
     Alcotest.test_case "solver hit/miss counting" `Quick test_solver_hit_miss_counting;
     Alcotest.test_case "solver entries per distinct problem" `Quick
       test_solver_entries_grow_with_distinct_problems;
+    Alcotest.test_case "solver key discriminates alpha" `Quick
+      test_solver_key_discriminates_alpha;
     Alcotest.test_case "solver copy-on-hit" `Quick test_solver_copy_on_hit;
     Alcotest.test_case "solver cache size bound" `Quick test_solver_cache_size_bound;
     Alcotest.test_case "solver warm bypasses cache" `Quick test_solver_warm_bypasses_cache;

@@ -44,6 +44,55 @@ let test_json_compound () =
   check_true "pretty well formed" (well_formed (Json.to_string v));
   check_true "empty containers" (Json.to_string (Json.List []) = "[]" && Json.to_string (Json.Obj []) = "{}")
 
+(* -- the reader half: parse is the inverse of to_string --------------------- *)
+
+let test_parse_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("count", Json.Int (-7));
+        ("ratio", Json.Float 0.125);
+        ("label", Json.String "a\"b\\c\nd");
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  check_true "pretty round-trips" (Json.parse (Json.to_string v) = v);
+  check_true "compact round-trips" (Json.parse (Json.to_string ~pretty:false v) = v);
+  (* the emitter prints floats with a dot or exponent precisely so the
+     reader can keep Int and Float apart *)
+  check_true "2.0 stays a float" (Json.parse (Json.to_string (Json.Float 2.0)) = Json.Float 2.0);
+  check_true "2 stays an int" (Json.parse "2" = Json.Int 2)
+
+let test_parse_escapes () =
+  check_true "escape sequences decode"
+    (Json.parse {|"a\"b\\c\nd\teA"|} = Json.String "a\"b\\c\nd\teA");
+  check_true "whitespace tolerated"
+    (Json.parse " {\n \"a\" : [ 1 , 2 ] \n} " = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+  check_true "exponent forms" (Json.parse "1e3" = Json.Float 1000.0)
+
+let test_parse_rejects_garbage () =
+  let rejects text =
+    match Json.parse text with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check_true "empty input" (rejects "");
+  check_true "trailing garbage" (rejects "{} x");
+  check_true "unterminated string" (rejects "\"abc");
+  check_true "unbalanced brace" (rejects "{\"a\": 1");
+  check_true "bare word" (rejects "frobnicate");
+  check_true "missing comma" (rejects "[1 2]")
+
+let test_member () =
+  let v = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
+  check_true "present" (Json.member "a" v = Some (Json.Int 1));
+  check_true "explicit null is present" (Json.member "b" v = Some Json.Null);
+  check_true "absent" (Json.member "c" v = None);
+  check_true "non-object" (Json.member "a" (Json.Int 3) = None)
+
 let schedule () =
   let device = Device.create ~seed:8 (Topology.grid 2 2) in
   let circuit = Circuit.of_gates 4 [ (Gate.H, [ 0 ]); (Gate.Iswap, [ 0; 1 ]); (Gate.Cz, [ 2; 3 ]) ] in
@@ -83,6 +132,10 @@ let suite =
     Alcotest.test_case "scalars" `Quick test_json_scalars;
     Alcotest.test_case "escaping" `Quick test_json_escaping;
     Alcotest.test_case "compound" `Quick test_json_compound;
+    Alcotest.test_case "parse round trip" `Quick test_parse_round_trip;
+    Alcotest.test_case "parse escapes" `Quick test_parse_escapes;
+    Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+    Alcotest.test_case "member" `Quick test_member;
     Alcotest.test_case "schedule export" `Quick test_schedule_export;
     Alcotest.test_case "metrics export" `Quick test_metrics_export;
     Alcotest.test_case "bundle export" `Quick test_bundle_export;

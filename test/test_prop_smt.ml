@@ -182,6 +182,27 @@ let test_violations_reporting () =
   check_true "nan reported"
     (List.mem (Smt.Not_finite 0) (Smt.violations t ~delta:0.5 [| nan; 0.8 |]))
 
+let prop_portfolio_lowest_index_wins =
+  prop_case "portfolio winner is the lowest-index feasible order at any jobs"
+    spec_arb (fun s ->
+      let t = build s in
+      let idx = List.init s.n Fun.id in
+      let rotate = function [] -> [] | x :: rest -> rest @ [ x ] in
+      let orders = [ idx; List.rev idx; rotate idx ] in
+      (* the scheduling-independent oracle: try each order sequentially *)
+      let expected =
+        List.find_index
+          (fun order -> Smt.solve ~order t ~delta:s.delta <> None)
+          orders
+      in
+      List.for_all
+        (fun jobs ->
+          match (Smt.solve_portfolio ~jobs t ~delta:s.delta ~orders, expected) with
+          | None, None -> true
+          | Some (i, w), Some e -> i = e && Smt.verify t ~delta:s.delta w
+          | Some _, None | None, Some _ -> false)
+        [ 1; 2; 4 ])
+
 let suite =
   [
     prop_solve_verifies;
@@ -192,5 +213,6 @@ let suite =
     prop_decomposed_solve_identical;
     prop_decomposed_max_delta_min_merge;
     prop_warm_never_beats_cold;
+    prop_portfolio_lowest_index_wins;
     Alcotest.test_case "violations reporting" `Quick test_violations_reporting;
   ]

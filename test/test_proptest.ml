@@ -18,7 +18,14 @@ let test_shrinks_to_minimum () =
     check_true "report prints the replay line"
       (contains f.Proptest.message "FASTSC_PROPTEST_SEED=");
     check_true "report prints the seed"
-      (contains f.Proptest.message (string_of_int f.Proptest.seed))
+      (contains f.Proptest.message (string_of_int f.Proptest.seed));
+    (* shrink ergonomics: the replay line quantifies the shrink so a reader
+       can tell a hard-won minimal case from a lucky first draw *)
+    check_int "final generator size recorded" 10 f.Proptest.shrunk_size;
+    check_true "replay line shows steps and size"
+      (contains f.Proptest.message
+         (Printf.sprintf "(%d shrink steps, final size %d)" f.Proptest.shrink_steps
+            f.Proptest.shrunk_size))
 
 let test_seed_replays_exact_failure () =
   match Proptest.run (broken_int_test ()) with

@@ -282,6 +282,42 @@ let test_find_max_delta_portfolio () =
     check_float ~eps:1e-4 "endpoints give the full width" 1.0 delta;
     check_true "final witness verifies" (Fastsc_smt.Smt.verify t ~delta w)
 
+let test_portfolio_tie_break () =
+  (* both orders feasible: the lowest index must win at any job count, no
+     matter which pool task happens to finish first *)
+  let t = Fastsc_smt.Smt.create ~lo:0.0 ~hi:1.0 2 in
+  Fastsc_smt.Smt.add_separation t 0 1;
+  List.iter
+    (fun jobs ->
+      match
+        Fastsc_smt.Smt.solve_portfolio ~jobs t ~delta:0.3 ~orders:[ [ 0; 1 ]; [ 1; 0 ] ]
+      with
+      | Some (0, w) ->
+        check_true "tie-break witness verifies" (Fastsc_smt.Smt.verify t ~delta:0.3 w)
+      | Some (i, _) -> Alcotest.failf "expected winner 0, got %d at jobs=%d" i jobs
+      | None -> Alcotest.failf "expected a feasible portfolio at jobs=%d" jobs)
+    [ 1; 2; 4 ]
+
+let test_portfolio_skips_infeasible_order () =
+  (* x0 in [0.8, 1], x1 in [0, 0.2]: the ascending order [0;1] demands
+     x0 <= x1 and is infeasible, so the race must fall through to [1;0] *)
+  let t = Fastsc_smt.Smt.create 2 in
+  Fastsc_smt.Smt.set_bounds t 0 ~lo:0.8 ~hi:1.0;
+  Fastsc_smt.Smt.set_bounds t 1 ~lo:0.0 ~hi:0.2;
+  Fastsc_smt.Smt.add_separation t 0 1;
+  check_true "ascending order alone is infeasible"
+    (Fastsc_smt.Smt.solve ~order:[ 0; 1 ] t ~delta:0.3 = None);
+  List.iter
+    (fun jobs ->
+      match
+        Fastsc_smt.Smt.solve_portfolio ~jobs t ~delta:0.3 ~orders:[ [ 0; 1 ]; [ 1; 0 ] ]
+      with
+      | Some (1, w) ->
+        check_true "fallback witness verifies" (Fastsc_smt.Smt.verify t ~delta:0.3 w)
+      | Some (i, _) -> Alcotest.failf "expected winner 1, got %d at jobs=%d" i jobs
+      | None -> Alcotest.failf "expected order [1;0] feasible at jobs=%d" jobs)
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "solve simple" `Quick test_solve_simple;
@@ -307,6 +343,9 @@ let suite =
     Alcotest.test_case "warm seeding" `Quick test_warm_seeding;
     Alcotest.test_case "portfolio winner" `Quick test_portfolio_winner;
     Alcotest.test_case "portfolio max delta" `Quick test_find_max_delta_portfolio;
+    Alcotest.test_case "portfolio tie-break" `Quick test_portfolio_tie_break;
+    Alcotest.test_case "portfolio skips infeasible order" `Quick
+      test_portfolio_skips_infeasible_order;
     prop_max_delta_scales_inverse;
     prop_witness_always_checks;
   ]
