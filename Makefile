@@ -4,7 +4,7 @@
 DUNE ?= dune
 
 .PHONY: all build test bench bench-sim bench-smt-scale examples check clean \
-        verify verify-quick verify-baselines
+        serve-smoke verify verify-quick verify-baselines
 
 all: build
 
@@ -64,6 +64,15 @@ examples:
 	  ./_build/default/examples/$$e.exe > /dev/null || exit 1; \
 	done
 
+# Serve-daemon smoke test (DESIGN.md §12): a JSONL batch with an
+# over-deadline request must come back fully answered (the budget-0 request
+# as a structured greedy-tier response), byte-identically across FASTSC_JOBS
+# 1 and 4; SIGTERM must drain and snapshot; a corrupt snapshot must be
+# quarantined on reboot, never a crash.
+serve-smoke:
+	$(DUNE) build bin/fastsc.exe
+	sh scripts/serve_smoke.sh
+
 # The PR gate: full build (warnings are errors, see the root `dune` env
 # stanza), then the whole test suite under both a serial and a parallel
 # domain pool — the determinism contract says results must not depend on
@@ -75,6 +84,7 @@ check:
 	$(MAKE) examples
 	$(MAKE) bench-sim
 	$(MAKE) bench-smt-scale
+	$(MAKE) serve-smoke
 
 # The layered PR gate (docs/DESIGN.md §11): tier R sweeps the property
 # suites over seeds x jobs x case counts, tier D runs the directed suites
@@ -90,6 +100,7 @@ verify:
 verify-quick:
 	$(DUNE) build @all
 	$(DUNE) exec bin/verify.exe -- --quick
+	$(MAKE) serve-smoke
 
 # Re-record the perf-gate baselines (bench/baselines/*.json) from fresh
 # pinned benchmark runs on this machine; commit the result.

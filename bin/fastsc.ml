@@ -412,6 +412,103 @@ let calibrate_cmd =
     (Cmd.info "calibrate" ~doc:"Produce the device's frequency calibration tables")
     Term.(ret (const run $ topology_arg $ size_arg $ seed_arg $ json_arg))
 
+(* fastsc serve *)
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) instead of stdin/stdout.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request compile budget in milliseconds; requests may override \
+             with their own $(b,deadline_ms). Expired budgets degrade down the ladder \
+             (full, decomposed-warm, stale, greedy) instead of failing.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: requests beyond $(docv) in flight are shed with a \
+             structured $(b,overloaded) error.")
+  in
+  let snapshot_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist checksummed solver-cache snapshots under $(docv); loaded at boot, \
+             corrupt files quarantined as $(b,.corrupt) and rebuilt cold.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Snapshot the caches every $(docv) completed requests (0: only at drain).")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value
+      & opt float 2000.0
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:"How long SIGTERM/SIGINT waits for in-flight requests before exiting.")
+  in
+  let scrub_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "scrub" ]
+          ~doc:
+            "Zero latency fields in responses so output is byte-deterministic across \
+             job counts (also $(b,FASTSC_SERVE_SCRUB=1)).")
+  in
+  let run jobs socket deadline_ms max_inflight snapshot_dir snapshot_every drain_grace_ms
+      scrub =
+    match apply_jobs jobs with
+    | `Error _ as e -> e
+    | `Ok () ->
+      if max_inflight < 1 then `Error (false, "--max-inflight needs a positive integer")
+      else if snapshot_every < 0 then
+        `Error (false, "--snapshot-every needs a non-negative integer")
+      else if not (Float.is_finite drain_grace_ms && drain_grace_ms >= 0.0) then
+        `Error (false, "--drain-grace-ms needs a non-negative number")
+      else if
+        match deadline_ms with
+        | Some d -> not (Float.is_finite d && d >= 0.0)
+        | None -> false
+      then `Error (false, "--deadline-ms needs a non-negative number")
+      else begin
+        Fastsc_serve.Server.run
+          {
+            Fastsc_serve.Server.socket;
+            deadline_ms;
+            max_inflight;
+            snapshot_dir;
+            snapshot_every;
+            drain_grace_ms;
+            scrub;
+          };
+        `Ok ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running JSONL compile daemon with deadline-budgeted degradation")
+    Term.(
+      ret
+        (const run $ jobs_arg $ socket_arg $ deadline_arg $ max_inflight_arg
+       $ snapshot_dir_arg $ snapshot_every_arg $ drain_grace_arg $ scrub_arg))
+
 (* fastsc list *)
 let list_cmd =
   let run () =
@@ -435,5 +532,5 @@ let () =
        (Cmd.group info
           [
             device_cmd; compile_cmd; sweep_cmd; validate_cmd; qasm_cmd; calibrate_cmd;
-            budget_cmd; list_cmd;
+            budget_cmd; serve_cmd; list_cmd;
           ]))

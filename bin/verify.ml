@@ -77,9 +77,9 @@ let spawn ?dir ?(stdout_only = false) ~env cmd =
       shown out
       (if stdout_only then "2> /dev/null" else "2>&1")
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Deadline.now_s () in
   let code = Sys.command full in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Deadline.now_s () -. t0 in
   let log = read_file out in
   Sys.remove out;
   (code, log, seconds, shown)
@@ -162,7 +162,7 @@ let fault_sweep () =
       let open Fault in
       (* run the fault's suites in order until one catches it; a fault nobody
          catches is the failure this tier exists to expose *)
-      let t0 = Unix.gettimeofday () in
+      let t0 = Deadline.now_s () in
       let caught = ref None in
       let tried = ref [] in
       List.iter
@@ -177,7 +177,7 @@ let fault_sweep () =
             if code <> 0 then caught := Some (suite, command)
           end)
         spec.suites;
-      let seconds = Unix.gettimeofday () -. t0 in
+      let seconds = Deadline.now_s () -. t0 in
       let name = Printf.sprintf "fault %s" spec.name in
       match !caught with
       | Some (suite, command) ->
@@ -241,7 +241,7 @@ let fresh_dir name =
 let determinism_cell ~name ~env cmd =
   (* byte-compare stdout of a serial and a parallel leg — the determinism
      contract says the job count must be unobservable in the output *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Deadline.now_s () in
   let dir1 = fresh_dir (name ^ ".jobs1") and dir4 = fresh_dir (name ^ ".jobs4") in
   let code1, log1, _, command1 =
     spawn ~dir:dir1 ~stdout_only:true ~env:(env @ [ ("FASTSC_JOBS", "1") ]) cmd
@@ -249,7 +249,7 @@ let determinism_cell ~name ~env cmd =
   let code4, log4, _, command4 =
     spawn ~dir:dir4 ~stdout_only:true ~env:(env @ [ ("FASTSC_JOBS", "4") ]) cmd
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Deadline.now_s () -. t0 in
   let outcome =
     if code1 <> 0 then
       Fastsc_verify.Verify_report.Fail
@@ -288,7 +288,7 @@ let smt_scale_determinism topology =
     ]
   in
   let name = Printf.sprintf "smt-scale %s" topology in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Deadline.now_s () in
   let dir1 = fresh_dir (name ^ ".jobs1") and dir4 = fresh_dir (name ^ ".jobs4") in
   let cmd = Printf.sprintf "'%s' smt-scale" bench_exe in
   let code1, log1, _, command1 =
@@ -297,7 +297,7 @@ let smt_scale_determinism topology =
   let code4, log4, _, command4 =
     spawn ~dir:dir4 ~stdout_only:true ~env:(env @ [ ("FASTSC_JOBS", "4") ]) cmd
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Deadline.now_s () -. t0 in
   let json1 = Filename.concat dir1 "BENCH_smt_scale.json"
   and json4 = Filename.concat dir4 "BENCH_smt_scale.json" in
   let outcome =
@@ -349,13 +349,13 @@ let smt_bench_env =
   ]
 
 let perf_gate_cell ~tolerance ~write_baselines ~label ~env ~experiment ~bench_file ~baseline =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Deadline.now_s () in
   let dir = fresh_dir ("bench." ^ label) in
   let cmd = Printf.sprintf "'%s' %s" bench_exe experiment in
   let code, log, _, command = spawn ~dir ~env cmd in
   let fresh_path = Filename.concat dir bench_file in
   let finish outcome detail =
-    let seconds = Unix.gettimeofday () -. t0 in
+    let seconds = Deadline.now_s () -. t0 in
     add
       (Fastsc_verify.Verify_report.cell ~detail ~tier:"W"
          ~name:(Printf.sprintf "perf gate %s" label)
@@ -456,7 +456,7 @@ let () =
         exit 2
       end)
     [ test_exe; bench_exe ];
-  let t0 = Unix.gettimeofday () in
+  let t0 = Deadline.now_s () in
   let mode = if !quick then "quick" else "full" in
   Printf.printf "verify (%s): tier R — randomized property sweep\n%!" mode;
   tier_r ~quick:!quick ();
@@ -472,7 +472,7 @@ let () =
       ("mode", Json.String mode);
       ("alt_seed", Json.Int alt_seed);
       ("tolerance", Json.Float !tolerance);
-      ("total_seconds", Json.Float (Unix.gettimeofday () -. t0));
+      ("total_seconds", Json.Float (Deadline.now_s () -. t0));
     ]
   in
   Fastsc_verify.Verify_report.write ~meta !report all;

@@ -14,6 +14,7 @@ let () =
       Color_dynamic.scheduler;
       Gmon_dynamic.scheduler;
       Anneal_dynamic.scheduler;
+      Greedy_spread.scheduler;
     ]
 
 (* The only per-algorithm table left: the closed public variant against the

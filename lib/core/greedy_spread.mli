@@ -1,0 +1,16 @@
+(** Greedy-coloring scheduler with evenly spread frequencies — no SMT.
+
+    The bottom rung of the serve layer's degradation ladder: produces a
+    valid schedule in graph-coloring time, with zero
+    {!Fastsc_smt.Smt.find_max_delta} calls.  Idle frequencies are one
+    {!Freq_alloc.spread} slot per connectivity-graph color; interaction
+    frequencies one slot per crosstalk-graph color.  Registered as
+    ["greedy-spread"] (aliases ["greedy"], ["gs"]), excluded from the
+    paper's Table I set. *)
+
+val run :
+  ?crosstalk_distance:int -> Device.t -> Circuit.t -> Schedule.t * Pass.stat list
+(** Schedule an already-routed native-gate circuit.  Reported stats:
+    [idle_colors] and [interaction_colors]. *)
+
+val scheduler : Pass.scheduler

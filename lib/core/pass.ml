@@ -107,6 +107,7 @@ module Context = struct
     device : Device.t;
     options : options;
     circuit : Circuit.t;
+    deadline : Deadline.t option;
     placement : int array option;
     prerouted : Mapping.result option;
     routed : Mapping.result option;
@@ -118,11 +119,12 @@ module Context = struct
     trail : pass_report list;
   }
 
-  let create ?(options = default_options) device circuit =
+  let create ?(options = default_options) ?deadline device circuit =
     {
       device;
       options;
       circuit;
+      deadline;
       placement = None;
       prerouted = None;
       routed = None;
@@ -250,7 +252,13 @@ type pass = {
 
 let make_pass pass_name f =
   let apply ctx =
-    let t0 = Unix.gettimeofday () in
+    (* Budget boundary: a request already past its deadline does not start
+       another stage — this is where an expired budget surfaces between
+       passes (the SMT loops poll the same ambient deadline within one). *)
+    Deadline.check ~site:("pass:" ^ pass_name) ();
+    (* monotonic, not gettimeofday: per-pass wall-clock must survive NTP
+       steps, and it shares a timeline with the deadline math *)
+    let t0 = Deadline.now_s () in
     let smt0 = Fastsc_smt.Smt.find_max_delta_count () in
     let solver0 = Freq_alloc.solver_cache_stats () in
     let pair0 = Crosstalk.pair_cache_stats () in
@@ -260,7 +268,7 @@ let make_pass pass_name f =
     let report =
       {
         Context.pass = pass_name;
-        wall_ns = (Unix.gettimeofday () -. t0) *. 1e9;
+        wall_ns = (Deadline.now_s () -. t0) *. 1e9;
         smt_solves = Fastsc_smt.Smt.find_max_delta_count () - smt0;
         solver_hits = solver1.Freq_alloc.hits - solver0.Freq_alloc.hits;
         solver_misses = solver1.Freq_alloc.misses - solver0.Freq_alloc.misses;
@@ -360,9 +368,14 @@ let pipeline ?(through = `Evaluate) ~algorithm () =
 
 let run_pipeline passes ctx = List.fold_left (fun ctx p -> p.apply ctx) ctx passes
 
-let execute ?options ?through ~algorithm device circuit =
+let execute ?options ?deadline ?through ~algorithm device circuit =
   (* Fail on an unknown algorithm before doing any routing work. *)
   let (module S : SCHEDULER) = scheduler_exn algorithm in
-  run_pipeline
-    (pipeline ?through ~algorithm:S.name ())
-    (Context.create ?options device circuit)
+  let run () =
+    run_pipeline
+      (pipeline ?through ~algorithm:S.name ())
+      (Context.create ?options ?deadline device circuit)
+  in
+  match deadline with
+  | None -> run ()
+  | Some d -> Deadline.with_deadline d run

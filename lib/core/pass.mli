@@ -113,6 +113,11 @@ module Context : sig
     device : Device.t;
     options : options;
     circuit : Circuit.t;  (** The logical input circuit. *)
+    deadline : Fastsc_util.Deadline.t option;
+        (** The request budget this compilation runs under, when any.
+            {!execute} installs it as the ambient deadline for the pipeline;
+            it is recorded here so schedulers can read how much budget
+            remains. *)
     placement : int array option;  (** Chosen initial mapping (after place). *)
     prerouted : Mapping.result option;
         (** [`Auto] placement decides by trial-routing both candidates; the
@@ -128,7 +133,7 @@ module Context : sig
     trail : pass_report list;  (** Executed passes, most recent first. *)
   }
 
-  val create : ?options:options -> Device.t -> Circuit.t -> t
+  val create : ?options:options -> ?deadline:Fastsc_util.Deadline.t -> Device.t -> Circuit.t -> t
   (** A fresh context with no artifacts and an empty trail. *)
 
   val routed_exn : t -> Mapping.result
@@ -161,11 +166,14 @@ type pass = {
 }
 
 val make_pass : string -> (Context.t -> Context.t) -> pass
-(** Wrap a stage function with instrumentation: wall clock, SMT solve count
-    and cache hit/miss deltas are measured around the call and appended to
-    the context's trail.  (Counters are process-wide, so concurrent
-    compilations on pool domains see each other's deltas; per-pass numbers
-    are exact when one compilation runs at a time, e.g. under [--trace].) *)
+(** Wrap a stage function with instrumentation: wall clock (monotonic —
+    {!Fastsc_util.Deadline.now_s}), SMT solve count and cache hit/miss
+    deltas are measured around the call and appended to the context's
+    trail.  (Counters are process-wide, so concurrent compilations on pool
+    domains see each other's deltas; per-pass numbers are exact when one
+    compilation runs at a time, e.g. under [--trace].)  Every wrapped pass
+    also polls the ambient deadline before starting and raises
+    [Deadline.Expired] when the budget is already gone. *)
 
 val place : pass
 (** Resolve the placement option to a concrete initial mapping.  [`Auto]
@@ -206,9 +214,16 @@ val run_pipeline : pass list -> Context.t -> Context.t
 
 val execute :
   ?options:options ->
+  ?deadline:Fastsc_util.Deadline.t ->
   ?through:[ `Schedule | `Evaluate ] ->
   algorithm:string ->
   Device.t -> Circuit.t -> Context.t
 (** Build a fresh context and run the standard pipeline:
     [run_pipeline (pipeline ?through ~algorithm ()) (Context.create ...)].
+    When [deadline] is given it is installed as the ambient
+    {!Fastsc_util.Deadline} for the whole pipeline: passes poll it between
+    stages and the SMT solver loops poll it at chunk boundaries, so the call
+    raises [Deadline.Expired] (it never hangs past the budget by more than
+    one chunk) — the serve layer's degradation ladder catches that and falls
+    back to a cheaper tier.
     @raise Invalid_argument for an unknown algorithm name. *)

@@ -17,6 +17,21 @@ let fault_resolve_flip = lazy (Fastsc_util.Fault.enabled "smt-resolve-flip")
 
 let fault_sideband_skip = lazy (Fastsc_util.Fault.enabled "smt-sideband-skip")
 
+let fault_deadline_skip = lazy (Fastsc_util.Fault.enabled "smt-deadline-skip")
+
+(* Cooperative cancellation for the serve layer's request budgets: every
+   search loop polls the ambient deadline at chunk boundaries (once per
+   bisection probe, once per [deadline_poll_mask + 1] search nodes) and
+   unwinds with Deadline.Expired — an exception, never a [None], so an
+   exhausted budget can never masquerade as infeasibility.  This single
+   guard covers every poll in the module, so the seeded fault disables them
+   all at once (a partial skip would still be caught by the deeper polls and
+   teach the meta-suite nothing). *)
+let deadline_poll_mask = 255
+
+let deadline_check site =
+  if not (Lazy.force fault_deadline_skip) then Fastsc_util.Deadline.check ~site ()
+
 let create ?(lo = 0.0) ?(hi = 1.0) n =
   if n < 0 then invalid_arg "Smt.create: negative variable count";
   if lo > hi then invalid_arg "Smt.create: lo > hi";
@@ -122,7 +137,10 @@ let candidates t ~delta placed v ~floor =
    never masquerades as a genuine infeasibility. *)
 let solve_ordered ?(stop = fun () -> false) t ~delta order =
   let placed = Array.make t.n None in
+  let nodes = ref 0 in
   let rec place remaining floor =
+    incr nodes;
+    if !nodes land deadline_poll_mask = 0 then deadline_check "solve_ordered";
     if stop () then false
     else
       match remaining with
@@ -147,6 +165,7 @@ let solve_any t ~delta =
   let budget = ref 200_000 in
   let rec place unplaced floor =
     decr budget;
+    if !budget land deadline_poll_mask = 0 then deadline_check "solve_any";
     if !budget <= 0 then false
     else
       match unplaced with
@@ -453,6 +472,7 @@ let monotone_along order assignment =
 
 let find_max_delta ?order ?(tolerance = 1e-4) ?delta_hi ?warm t =
   Atomic.incr solve_counter;
+  deadline_check "find_max_delta";
   let delta_hi = match delta_hi with Some d -> d | None -> Float.max tolerance (widest_range t) in
   (* Warm start: a previous witness with positive margin [m] is feasible for
      every delta <= m, so it replaces the delta = 0 probe and opens the
@@ -491,6 +511,7 @@ let find_max_delta ?order ?(tolerance = 1e-4) ?delta_hi ?warm t =
         lo := delta_hi
       | None -> ());
     while !hi -. !lo > tolerance do
+      deadline_check "find_max_delta";
       let mid = (!lo +. !hi) /. 2.0 in
       match solve ?order t ~delta:mid with
       | Some w ->
@@ -530,8 +551,11 @@ let find_max_delta_components ?jobs ?order ?(tolerance = 1e-4) ?delta_hi ?warm t
     in
     let cells = List.combine comps sub_orders in
     let results =
+      (* inherit_ambient: component solves run on worker domains, which have
+         their own ambient deadline state — re-install the caller's so the
+         per-component searches stay cancellable *)
       Fastsc_util.Pool.map ?jobs
-        (fun (comp, sub_order) ->
+        (Fastsc_util.Deadline.inherit_ambient (fun (comp, sub_order) ->
           let sub, globals = restrict t comp in
           let sub_warm =
             Option.map (fun w -> Array.map (fun v -> w.(v)) globals) warm
@@ -539,7 +563,7 @@ let find_max_delta_components ?jobs ?order ?(tolerance = 1e-4) ?delta_hi ?warm t
           Option.map
             (fun (d, w) -> (comp, globals, d, w))
             (find_max_delta ?order:sub_order ~tolerance ~delta_hi ?warm:sub_warm
-               sub))
+               sub)))
         cells
     in
     if List.exists Option.is_none results then None
@@ -580,17 +604,19 @@ let solve_portfolio ?jobs t ~delta ~orders =
       spin ()
     in
     let attempts =
-      Fastsc_util.Pool.mapi ?jobs
-        (fun i order ->
-          if Atomic.get winner < i then None
-          else
-            let stop () = Atomic.get winner < i in
-            match solve_ordered ~stop t ~delta order with
-            | Some w ->
-              claim i;
-              Some w
-            | None -> None)
-        orders
+      (* same cross-domain deadline bridge as find_max_delta_components *)
+      let run_cell =
+        Fastsc_util.Deadline.inherit_ambient (fun (i, order) ->
+            if Atomic.get winner < i then None
+            else
+              let stop () = Atomic.get winner < i in
+              match solve_ordered ~stop t ~delta order with
+              | Some w ->
+                claim i;
+                Some w
+              | None -> None)
+      in
+      Fastsc_util.Pool.mapi ?jobs (fun i order -> run_cell (i, order)) orders
     in
     let rec first i = function
       | [] -> None
@@ -606,6 +632,7 @@ let solve_portfolio ?jobs t ~delta ~orders =
 
 let find_max_delta_portfolio ?jobs ?(tolerance = 1e-4) ?delta_hi ~orders t =
   Atomic.incr solve_counter;
+  deadline_check "find_max_delta_portfolio";
   let delta_hi = match delta_hi with Some d -> d | None -> Float.max tolerance (widest_range t) in
   match solve_portfolio ?jobs t ~delta:0.0 ~orders with
   | None -> None
@@ -618,6 +645,7 @@ let find_max_delta_portfolio ?jobs ?(tolerance = 1e-4) ?delta_hi ~orders t =
       lo := delta_hi
     | None -> ());
     while !hi -. !lo > tolerance do
+      deadline_check "find_max_delta_portfolio";
       let mid = (!lo +. !hi) /. 2.0 in
       match solve_portfolio ?jobs t ~delta:mid ~orders with
       | Some (i, w) ->

@@ -132,7 +132,14 @@ val find_max_delta :
     of the feasible-side probes.  An invalid seed silently falls back to the
     cold path, so warm starting never changes feasibility — and because the
     ordered search only restricts the problem, a warm result can never beat
-    the cold unordered maximum by more than [tolerance]. *)
+    the cold unordered maximum by more than [tolerance].
+
+    Cooperative cancellation: all solver entry points poll the ambient
+    {!Fastsc_util.Deadline} at chunk boundaries (per bisection probe, per
+    256 search nodes) and raise [Deadline.Expired] once the budget is gone —
+    never [None], so budget exhaustion cannot masquerade as infeasibility.
+    Pool fan-outs ({!find_max_delta_components}, {!solve_portfolio})
+    re-install the caller's ambient deadline on worker domains. *)
 
 type component_solution = {
   members : int list;  (** Global variable ids of the component, ascending. *)

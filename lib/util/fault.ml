@@ -92,6 +92,30 @@ let catalog =
       description = "crosstalk accumulator dropped: metrics report zero crosstalk error";
       suites = [ "algorithms" ];
     };
+    {
+      name = "smt-deadline-skip";
+      site = "Smt.deadline_check";
+      description =
+        "cooperative deadline polls in the solver loops skipped: a solve past its budget \
+         runs to completion instead of raising Deadline.Expired";
+      suites = [ "deadline" ];
+    };
+    {
+      name = "serve-ladder-tier";
+      site = "Ladder.compile";
+      description =
+        "degradation ladder labels the response with the first tier attempted instead of \
+         the tier that actually produced the witness";
+      suites = [ "serve" ];
+    };
+    {
+      name = "snapshot-checksum-skip";
+      site = "Snapshot.load";
+      description =
+        "snapshot loaded without checksum validation: a corrupted payload is deserialized \
+         into the warm cache instead of being quarantined";
+      suites = [ "snapshot" ];
+    };
   ]
 
 let names = List.map (fun s -> s.name) catalog

@@ -1,6 +1,6 @@
 (** Deliberate-fault injection for the layered verification harness.
 
-    A catalog of ~10 seeded bugs, each at one named site in the code base,
+    A catalog of seeded bugs, each at one named site in the code base,
     activated one at a time via [FASTSC_FAULT=<name>].  Tier D of
     [make verify] (and the [test_verify] meta-suite) runs each fault's listed
     suites and asserts at least one of them fails — a mutation-style check

@@ -84,7 +84,14 @@ exception Parse_error of string
    produces (which is all of RFC 8259 minus nothing: the verify harness reads
    back BENCH_*.json benchmark records, perf baselines and `--trace`
    reports).  Numbers without '.', 'e' or 'E' parse as [Int], everything else
-   as [Float]; \u escapes decode to UTF-8 (surrogate pairs included). *)
+   as [Float]; \u escapes decode to UTF-8 (surrogate pairs included).
+
+   Nesting is capped at [max_depth]: the reader also sits on the serve
+   daemon's request path, where an adversarial body like 100k unclosed '['
+   must produce a Parse_error, not a stack overflow that kills the
+   process. *)
+
+let max_depth = 512
 
 let parse text =
   let len = String.length text in
@@ -217,7 +224,9 @@ let parse text =
         | Some f -> Float f
         | None -> error "invalid number %S" token)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      error "nesting deeper than %d levels (adversarial input?)" max_depth;
     skip_ws ();
     match peek () with
     | None -> error "unexpected end of input"
@@ -234,7 +243,7 @@ let parse text =
       end
       else begin
         let rec items acc =
-          let item = parse_value () in
+          let item = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -261,7 +270,7 @@ let parse text =
           let key = parse_string () in
           skip_ws ();
           expect ':';
-          let value = parse_value () in
+          let value = parse_value (depth + 1) in
           (key, value)
         in
         let rec fields acc =
@@ -282,7 +291,7 @@ let parse text =
     | Some ('0' .. '9' | '-') -> parse_number ()
     | Some c -> error "unexpected character %C" c
   in
-  let value = parse_value () in
+  let value = parse_value 0 in
   skip_ws ();
   if !pos <> len then error "trailing garbage after value";
   value

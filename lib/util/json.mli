@@ -26,12 +26,17 @@ val escape : string -> string
 exception Parse_error of string
 (** Raised by the reader on malformed input, with an offset and reason. *)
 
+val max_depth : int
+(** Maximum container nesting {!parse} accepts (512).  Deeper input raises
+    {!Parse_error} instead of overflowing the stack — the reader sits on the
+    serve daemon's request path, where bodies are adversarial. *)
+
 val parse : string -> t
 (** Parse one JSON value (surrounding whitespace allowed; anything after the
     value is an error).  Number tokens without ['.'], ['e'] or ['E'] become
     {!Int}, all others {!Float}; [\u] escapes decode to UTF-8, surrogate
     pairs included.
-    @raise Parse_error on malformed input. *)
+    @raise Parse_error on malformed input or nesting beyond {!max_depth}. *)
 
 val parse_file : string -> t
 (** {!parse} the entire contents of a file; errors are prefixed with the

@@ -56,7 +56,11 @@ let worker_loop t =
     else begin
       let job = Queue.pop t.queue in
       Mutex.unlock t.mutex;
-      job ();
+      (* a raising job must not kill the worker: batch jobs capture their own
+         failures (see run_batch), so anything escaping here is a directly
+         [submit]ted job whose error belongs to that job alone — the pool
+         keeps serving, and shutdown's Domain.join never re-raises *)
+      (try job () with _ -> ());
       loop ()
     end
   in

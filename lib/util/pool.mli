@@ -51,9 +51,18 @@ val jobs : t -> int
 (** The parallelism the pool was created with. *)
 
 val shutdown : t -> unit
-(** Stop and join the pool's workers.  Idempotent.  Batches may no longer be
-    submitted to the pool afterwards.  The implicit global pool is shut down
+(** Stop and join the pool's workers.  Idempotent.  Jobs already queued are
+    still drained before the workers exit; batches and jobs may no longer be
+    submitted afterwards.  The implicit global pool is shut down
     automatically at exit. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** [submit t job] enqueues one fire-and-forget job for a worker domain (the
+    serve daemon's request dispatch).  The job owns its error handling: an
+    exception it raises is swallowed by the worker, which keeps serving.
+    With [jobs = 1] the pool has no workers and a submitted job would never
+    run — callers must execute inline in that configuration (see {!jobs}).
+    @raise Invalid_argument after {!shutdown}. *)
 
 val map_array : ?pool:t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic ordering.  Uses [~pool] when

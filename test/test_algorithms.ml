@@ -189,8 +189,16 @@ let test_registry_names_and_aliases () =
             | None -> Alcotest.failf "alias %s of %s does not resolve" alias name)
           S.aliases)
     Compile.extended_algorithms;
-  check_int "registry holds the seven built-ins" 7
-    (List.length (Pass.scheduler_names ()))
+  (* seven Compile-variant algorithms plus greedy-spread, which is
+     registry-only (the serve ladder's deadline-free floor, reached by name) *)
+  check_int "registry holds the eight built-ins" 8
+    (List.length (Pass.scheduler_names ()));
+  (match Pass.find_scheduler "greedy-spread" with
+  | Some (module S : Pass.SCHEDULER) ->
+    check_true "greedy resolves" (Pass.find_scheduler "greedy" <> None);
+    check_true "greedy-spread has no Compile variant"
+      (Compile.algorithm_of_string S.name = None)
+  | None -> Alcotest.fail "greedy-spread not in registry")
 
 let test_decomposition_strategies_compile () =
   let d = device () in

@@ -86,6 +86,29 @@ let test_parse_rejects_garbage () =
   check_true "bare word" (rejects "frobnicate");
   check_true "missing comma" (rejects "[1 2]")
 
+let test_parse_depth_limit () =
+  (* adversarial nesting must fail with a clear parse error, not a stack
+     overflow: the serve daemon parses attacker-controlled request lines *)
+  let deep k = String.make k '[' ^ "0" ^ String.make k ']' in
+  check_true "nesting at the limit parses"
+    (match Json.parse (deep Json.max_depth) with
+    | _ -> true
+    | exception Json.Parse_error _ -> false);
+  (match Json.parse (deep (Json.max_depth + 1)) with
+  | _ -> Alcotest.fail "over-deep input parsed"
+  | exception Json.Parse_error msg ->
+    check_true "error names the nesting limit" (contains msg "nesting"));
+  (* objects count against the same limit *)
+  let deep_obj k =
+    String.concat "" (List.init k (fun _ -> "{\"a\":"))
+    ^ "0"
+    ^ String.make k '}'
+  in
+  check_true "deep objects also rejected"
+    (match Json.parse (deep_obj (Json.max_depth + 1)) with
+    | _ -> false
+    | exception Json.Parse_error _ -> true)
+
 let test_member () =
   let v = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
   check_true "present" (Json.member "a" v = Some (Json.Int 1));
@@ -135,6 +158,7 @@ let suite =
     Alcotest.test_case "parse round trip" `Quick test_parse_round_trip;
     Alcotest.test_case "parse escapes" `Quick test_parse_escapes;
     Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+    Alcotest.test_case "parse depth limit" `Quick test_parse_depth_limit;
     Alcotest.test_case "member" `Quick test_member;
     Alcotest.test_case "schedule export" `Quick test_schedule_export;
     Alcotest.test_case "metrics export" `Quick test_metrics_export;

@@ -110,6 +110,47 @@ let test_default_jobs_override () =
     (fun () -> Pool.set_default_jobs 0);
   Pool.set_default_jobs before
 
+(* -- teardown edges: submit, shutdown, and exceptions in flight -------------- *)
+
+let test_submit_exception_does_not_kill_worker () =
+  (* a raising fire-and-forget job must not take its worker down *)
+  let pool = Pool.create ~jobs:2 () in
+  Pool.submit pool (fun () -> failwith "boom");
+  let r = Pool.map ~pool succ (List.init 20 Fun.id) in
+  Pool.shutdown pool;
+  check_true "workers survive a raising job" (r = List.init 20 succ)
+
+let test_shutdown_drains_queued_submits () =
+  (* jobs already queued when shutdown flips the stop flag still run:
+     workers drain the queue before exiting *)
+  let pool = Pool.create ~jobs:2 () in
+  let ran = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Pool.submit pool (fun () -> Atomic.incr ran)
+  done;
+  Pool.shutdown pool;
+  check_int "every queued job ran before join" 50 (Atomic.get ran)
+
+let test_exception_while_stopping () =
+  (* raising jobs executed during the shutdown drain (stop already set) must
+     neither wedge the join nor skip their queued siblings *)
+  let pool = Pool.create ~jobs:2 () in
+  let ran = Atomic.make 0 in
+  for i = 1 to 20 do
+    Pool.submit pool (fun () ->
+        if i mod 2 = 0 then failwith "mid-drain boom" else Atomic.incr ran)
+  done;
+  Pool.shutdown pool;
+  check_int "surviving siblings all ran" 10 (Atomic.get ran)
+
+let test_submit_after_shutdown_raises () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  check_true "submit after shutdown rejected"
+    (match Pool.submit pool (fun () -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
@@ -125,4 +166,11 @@ let suite =
     Alcotest.test_case "iter visits every cell" `Quick test_iter_collects_every_index;
     Alcotest.test_case "explicit pool reuse" `Quick test_explicit_pool_reuse;
     Alcotest.test_case "default jobs override" `Quick test_default_jobs_override;
+    Alcotest.test_case "submit exception does not kill worker" `Quick
+      test_submit_exception_does_not_kill_worker;
+    Alcotest.test_case "shutdown drains queued submits" `Quick
+      test_shutdown_drains_queued_submits;
+    Alcotest.test_case "exception while stopping" `Quick test_exception_while_stopping;
+    Alcotest.test_case "submit after shutdown raises" `Quick
+      test_submit_after_shutdown_raises;
   ]
