@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench bench-sim bench-smt-scale examples check clean \
+.PHONY: all build test bench bench-sim bench-smt-scale bench-shootout examples check clean \
         serve-smoke verify verify-quick verify-baselines
 
 all: build
@@ -55,6 +55,32 @@ bench-smt-scale:
 	cmp _build/smt_scale_smoke/jobs1/BENCH_smt_scale.json \
 	    _build/smt_scale_smoke/jobs4/BENCH_smt_scale.json
 
+# Cross-compiler shootout smoke run: a shrunken scheduler-zoo x topology-zoo
+# sweep under FASTSC_JOBS=1 and 4 with wall-clock fields scrubbed — both the
+# stdout tables and BENCH_shootout.json must be byte-identical across job
+# counts (ISSUE 9 acceptance).  Unset the env knobs for the full surface
+# (defaults: sizes 4/9/16, five benchmarks, five topologies).
+bench-shootout:
+	$(DUNE) build bench/main.exe
+	rm -rf _build/shootout_smoke
+	mkdir -p _build/shootout_smoke/jobs1 _build/shootout_smoke/jobs4
+	cd _build/shootout_smoke/jobs1 && \
+	FASTSC_SHOOTOUT_SIZES=$${FASTSC_SHOOTOUT_SIZES:-4,9} \
+	FASTSC_SHOOTOUT_BENCHES=$${FASTSC_SHOOTOUT_BENCHES:-bv,qaoa,xeb} \
+	FASTSC_SHOOTOUT_TOPOLOGIES=$${FASTSC_SHOOTOUT_TOPOLOGIES:-mesh,ring,heavy-hex} \
+	FASTSC_SHOOTOUT_SCRUB=1 FASTSC_JOBS=1 \
+	$(CURDIR)/_build/default/bench/main.exe shootout > stdout.txt 2> /dev/null
+	cd _build/shootout_smoke/jobs4 && \
+	FASTSC_SHOOTOUT_SIZES=$${FASTSC_SHOOTOUT_SIZES:-4,9} \
+	FASTSC_SHOOTOUT_BENCHES=$${FASTSC_SHOOTOUT_BENCHES:-bv,qaoa,xeb} \
+	FASTSC_SHOOTOUT_TOPOLOGIES=$${FASTSC_SHOOTOUT_TOPOLOGIES:-mesh,ring,heavy-hex} \
+	FASTSC_SHOOTOUT_SCRUB=1 FASTSC_JOBS=4 \
+	$(CURDIR)/_build/default/bench/main.exe shootout > stdout.txt 2> /dev/null
+	cmp _build/shootout_smoke/jobs1/stdout.txt _build/shootout_smoke/jobs4/stdout.txt
+	cmp _build/shootout_smoke/jobs1/BENCH_shootout.json \
+	    _build/shootout_smoke/jobs4/BENCH_shootout.json
+	grep -q "headline: mesh" _build/shootout_smoke/jobs1/stdout.txt
+
 # Smoke-run every worked example (examples/*.ml are documentation that must
 # keep compiling AND running); output is discarded, a non-zero exit fails.
 examples:
@@ -84,6 +110,7 @@ check:
 	$(MAKE) examples
 	$(MAKE) bench-sim
 	$(MAKE) bench-smt-scale
+	$(MAKE) bench-shootout
 	$(MAKE) serve-smoke
 
 # The layered PR gate (docs/DESIGN.md §11): tier R sweeps the property

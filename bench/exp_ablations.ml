@@ -191,7 +191,7 @@ let router () =
   in
   let router_benches = Exp_common.benchmark "qaoa" 16 :: benches () in
   let cells =
-    List.concat_map (fun bench -> [ (bench, `Greedy); (bench, `Lookahead) ]) router_benches
+    List.concat_map (fun bench -> [ (bench, "greedy"); (bench, "lookahead") ]) router_benches
   in
   let results =
     Exp_common.grid

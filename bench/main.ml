@@ -29,6 +29,7 @@ let experiments =
     ("time", "bechamel timing suite", Exp_timing.run);
     ("sim", "simulation kernel microbenchmark", Exp_sim.run);
     ("smt-scale", "SMT decomposition scaling benchmark", Exp_smt_scale.run);
+    ("shootout", "cross-compiler shootout: scheduler zoo x topology zoo", Exp_shootout.run);
     ("ext-bench", "extension: GHZ/QFT workloads", Exp_extensions.extra_benchmarks);
     ("ext-lattices", "extension: heavy-hex/octagonal", Exp_extensions.machine_lattices);
     ("ext-pulses", "extension: pulse lowering stats", Exp_extensions.pulse_lowering);
@@ -58,7 +59,8 @@ let run_all () =
   Exp_generations.generations ();
   Exp_timing.run ();
   Exp_sim.run ();
-  Exp_smt_scale.run ()
+  Exp_smt_scale.run ();
+  Exp_shootout.run ()
 
 let usage () =
   print_endline "usage: main.exe [--jobs N] [experiment...]";

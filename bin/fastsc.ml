@@ -64,12 +64,26 @@ let bench_arg =
     & opt string "bv"
     & info [ "bench" ] ~docv:"BENCH" ~doc:"Benchmark: bv, qaoa, ising, qgan, xeb.")
 
+(* The algorithm list in --help comes from the scheduler registry, so a
+   newly registered scheduler shows up without touching the CLI. *)
+let algorithm_doc =
+  let describe (module S : Pass.SCHEDULER) =
+    match S.aliases with
+    | [] -> S.name
+    | aliases -> S.name ^ "/" ^ String.concat "/" aliases
+  in
+  let runnable =
+    List.filter
+      (fun (module S : Pass.SCHEDULER) -> Compile.algorithm_of_string S.name <> None)
+      (Pass.schedulers ())
+  in
+  "Algorithm: " ^ String.concat ", " (List.map describe runnable) ^ "."
+
 let algorithm_arg =
   Arg.(
     value
     & opt string "cd"
-    & info [ "algorithm"; "a" ] ~docv:"ALG"
-        ~doc:"Algorithm: naive/n, gmon/g, uniform/u, static/s, color-dynamic/cd.")
+    & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:algorithm_doc)
 
 (* Algorithm names come from the scheduler registry; reject unknown ones with
    exit code 2 and the list of valid names (tested by the CLI suite). *)
@@ -456,6 +470,15 @@ let serve_cmd =
       & info [ "snapshot-every" ] ~docv:"N"
           ~doc:"Snapshot the caches every $(docv) completed requests (0: only at drain).")
   in
+  let stats_every_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "stats-every" ] ~docv:"N"
+          ~doc:
+            "Print an operational stats line to stderr every $(docv) completed requests \
+             — solver-cache hit rate and per-tier latency p50/p95 (0: disabled).")
+  in
   let drain_grace_arg =
     Arg.(
       value
@@ -472,14 +495,16 @@ let serve_cmd =
             "Zero latency fields in responses so output is byte-deterministic across \
              job counts (also $(b,FASTSC_SERVE_SCRUB=1)).")
   in
-  let run jobs socket deadline_ms max_inflight snapshot_dir snapshot_every drain_grace_ms
-      scrub =
+  let run jobs socket deadline_ms max_inflight snapshot_dir snapshot_every stats_every
+      drain_grace_ms scrub =
     match apply_jobs jobs with
     | `Error _ as e -> e
     | `Ok () ->
       if max_inflight < 1 then `Error (false, "--max-inflight needs a positive integer")
       else if snapshot_every < 0 then
         `Error (false, "--snapshot-every needs a non-negative integer")
+      else if stats_every < 0 then
+        `Error (false, "--stats-every needs a non-negative integer")
       else if not (Float.is_finite drain_grace_ms && drain_grace_ms >= 0.0) then
         `Error (false, "--drain-grace-ms needs a non-negative number")
       else if
@@ -495,6 +520,7 @@ let serve_cmd =
             max_inflight;
             snapshot_dir;
             snapshot_every;
+            stats_every;
             drain_grace_ms;
             scrub;
           };
@@ -507,7 +533,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ jobs_arg $ socket_arg $ deadline_arg $ max_inflight_arg
-       $ snapshot_dir_arg $ snapshot_every_arg $ drain_grace_arg $ scrub_arg))
+       $ snapshot_dir_arg $ snapshot_every_arg $ stats_every_arg $ drain_grace_arg
+       $ scrub_arg))
 
 (* fastsc list *)
 let list_cmd =
@@ -515,7 +542,8 @@ let list_cmd =
     print_endline ("benchmarks: " ^ String.concat " " benchmark_names);
     print_endline
       ("algorithms: "
-      ^ String.concat " " (List.map Compile.algorithm_to_string Compile.all_algorithms));
+      ^ String.concat " "
+          (List.map Compile.algorithm_to_string Compile.extended_algorithms));
     print_endline "topologies: grid path ring complete 1ex:<k> 2ex:<k>";
     `Ok ()
   in

@@ -45,7 +45,15 @@ let baseline_dir = Filename.concat repo "bench/baselines"
 let alt_seed = 0x5eedc0de + 101
 
 let prop_suites =
-  [ "proptest"; "prop_smt"; "prop_coloring"; "prop_decompose"; "prop_differential"; "prop_sim" ]
+  [
+    "proptest";
+    "prop_smt";
+    "prop_coloring";
+    "prop_decompose";
+    "prop_differential";
+    "prop_sim";
+    "prop_rivals";
+  ]
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin

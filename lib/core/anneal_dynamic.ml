@@ -91,5 +91,7 @@ let scheduler : Pass.scheduler =
 
     let table1 = false
 
+    let consumes = `Native
+
     let schedule (_ : Pass.options) device native = (run device native, [])
   end)

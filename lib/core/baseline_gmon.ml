@@ -97,6 +97,8 @@ let scheduler : Pass.scheduler =
 
     let table1 = true
 
+    let consumes = `Native
+
     let schedule (options : Pass.options) device native =
       (run ~residual_coupling:options.Pass.residual_coupling device native, [])
   end)

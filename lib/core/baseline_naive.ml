@@ -23,5 +23,7 @@ let scheduler : Pass.scheduler =
 
     let table1 = true
 
+    let consumes = `Native
+
     let schedule (_ : Pass.options) device native = (run device native, [])
   end)

@@ -55,6 +55,8 @@ let scheduler : Pass.scheduler =
 
     let table1 = true
 
+    let consumes = `Native
+
     let schedule (options : Pass.options) device native =
       (run ~crosstalk_distance:options.Pass.crosstalk_distance device native, [])
   end)

@@ -75,6 +75,19 @@ let generate ?(crosstalk_distance = 1) device =
   in
   { device; qubits; pairs; n_colors }
 
+(* 1/f flux-noise amplitude in flux quanta — the standard few-uPhi0 figure
+   for planar transmons.  Together with the parking-point sensitivity it
+   converts the idle plan into a dephasing penalty: a qubit parked on a
+   steep part of its tuning curve pays for it in T2. *)
+let flux_noise_amplitude = 1e-5
+
+let coherence t q =
+  if q < 0 || q >= Array.length t.qubits then
+    invalid_arg (Printf.sprintf "Calibration.coherence: qubit %d out of range" q);
+  let qc = t.qubits.(q) in
+  let gamma_phi = 2.0 *. Float.pi *. flux_noise_amplitude *. qc.idle_sensitivity in
+  (qc.t1, 1.0 /. ((1.0 /. qc.t2) +. gamma_phi))
+
 let check t =
   let exception Bad of string in
   try

@@ -40,6 +40,16 @@ val generate : ?crosstalk_distance:int -> Device.t -> t
 (** Build the calibration: idle plan from the connectivity coloring,
     interaction plan from the static crosstalk-graph coloring. *)
 
+val coherence : t -> int -> float * float
+(** Calibration-backed per-qubit [(t1, t2)] for {!Schedule.evaluate}'s
+    [?coherence] override: [t1] is the bare relaxation time, while [t2] is
+    shortened by 1/f flux-noise dephasing at the parking point —
+    [1/t2' = 1/t2 + 2 pi A S] with [A] the standard few-uPhi0 noise
+    amplitude and [S] the qubit's [idle_sensitivity].  Qubits parked far
+    from a sweet spot therefore decohere faster than the device's bare
+    tables claim, which is what the shootout bench charges.
+    @raise Invalid_argument if the qubit index is out of range. *)
+
 val check : t -> (unit, string) result
 (** Physical invariants: every frequency within its qubit's tunable range,
     every flux bias reproduces its frequency through the transmon model,

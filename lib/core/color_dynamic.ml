@@ -264,6 +264,8 @@ let scheduler : Pass.scheduler =
 
     let table1 = true
 
+    let consumes = `Native
+
     let schedule (options : Pass.options) device native =
       let schedule, stats =
         run ~crosstalk_distance:options.Pass.crosstalk_distance

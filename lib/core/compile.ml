@@ -1,4 +1,13 @@
-type algorithm = Naive | Gmon | Uniform | Static | Color_dynamic | Gmon_dynamic | Anneal_dynamic
+type algorithm =
+  | Naive
+  | Gmon
+  | Uniform
+  | Static
+  | Color_dynamic
+  | Gmon_dynamic
+  | Anneal_dynamic
+  | Murali_delay
+  | Cqc_synergy
 
 (* Register the built-in zoo.  Referencing each module's [scheduler] here
    both performs the registration and guarantees the scheduler translation
@@ -14,6 +23,8 @@ let () =
       Color_dynamic.scheduler;
       Gmon_dynamic.scheduler;
       Anneal_dynamic.scheduler;
+      Murali_delay.scheduler;
+      Cqc_synergy.scheduler;
       Greedy_spread.scheduler;
     ]
 
@@ -29,6 +40,8 @@ let names =
     (Color_dynamic, "color-dynamic");
     (Gmon_dynamic, "gmon-dynamic");
     (Anneal_dynamic, "anneal-dynamic");
+    (Murali_delay, "murali-delay");
+    (Cqc_synergy, "cqc-synergy");
   ]
 
 let algorithm_to_string algorithm = List.assoc algorithm names
@@ -59,7 +72,8 @@ type options = Pass.options = {
   residual_coupling : float;
   placement : [ `Identity | `Degree | `Coherence | `Auto ];
   optimize : bool;
-  router : [ `Greedy | `Lookahead ];
+  router : string;
+  delay_threshold : float;
   warm_start : bool;
   decompose_components : bool;
 }

@@ -9,12 +9,12 @@
 
     Since the pass-manager refactor this module is a thin wrapper over
     {!Pass}: the stages run as an instrumented pipeline, the algorithms live
-    in the {!Pass} scheduler registry (this module registers the seven
-    built-ins at load time), and the algorithm lists and string parsing
-    derive from that registry.  Callers who need intermediate artifacts,
-    per-pass timings or per-compilation scheduler statistics (what
-    [run_with_stats] used to special-case for ColorDynamic) use
-    {!Pass.execute} and read the returned context. *)
+    in the {!Pass} scheduler registry (this module registers the built-in
+    zoo at load time), and the algorithm lists and string parsing derive
+    from that registry.  Callers who need intermediate artifacts, per-pass
+    timings or per-compilation scheduler statistics (what [run_with_stats]
+    used to special-case for ColorDynamic) use {!Pass.execute} and read the
+    returned context. *)
 
 type algorithm =
   | Naive  (** Baseline N. *)
@@ -28,14 +28,26 @@ type algorithm =
   | Anneal_dynamic
       (** Extension (paper §III's [31] comparison): direct per-step frequency
           annealing, Snake-optimizer style. *)
+  | Murali_delay
+      (** Rival compiler (PAPERS.md, Murali et al. ASPLOS 2020):
+          software-only crosstalk-adaptive scheduling — static uniform
+          frequencies, conflicting simultaneous gates delayed instead of
+          detuned. *)
+  | Cqc_synergy
+      (** Rival compiler (PAPERS.md, CQC): synergistic routing+scheduling —
+          SWAP selection scored by depth {e and} crosstalk-graph conflict
+          pressure, interleaved with scheduling. *)
 
 val all_algorithms : algorithm list
-(** The five algorithms of Table I (evaluation columns) — the registered
-    schedulers with [table1 = true], in registration order. *)
+(** The registered schedulers with [table1 = true], in registration order —
+    the paper's Table I evaluation columns (five as of the paper; the count
+    follows the registry, not this comment). *)
 
 val extended_algorithms : algorithm list
-(** Every registered built-in, in registration order (Table I plus the
-    extensions). *)
+(** Every registered scheduler backed by an [algorithm] constructor, in
+    registration order: Table I, the extensions, and the rival-compiler zoo
+    (murali-delay, cqc-synergy).  [greedy-spread], the serve fallback, is
+    registry-only and has no constructor. *)
 
 val algorithm_to_string : algorithm -> string
 (** The canonical registry name (e.g. ["color-dynamic"]). *)
@@ -60,10 +72,16 @@ type options = Pass.options = {
       (** Run the peephole optimizer ({!Optimize}) after decomposition;
           default false so the evaluation matches the paper's unoptimized
           pipeline (the `ablate-optimize` bench measures the benefit). *)
-  router : [ `Greedy | `Lookahead ];
-      (** SWAP-insertion strategy: per-gate shortest paths, or SABRE-style
-          lookahead scoring (default; the `ablate-router` bench measures the
-          difference). *)
+  router : string;
+      (** Name or alias of the registered {!Pass.ROUTER}: ["greedy"]
+          (per-gate shortest paths) or ["lookahead"] (SABRE-style lookahead
+          scoring, the default; the `ablate-router` bench measures the
+          difference).  Third-party routers register via
+          {!Pass.register_router}. *)
+  delay_threshold : float;
+      (** Crosstalk pair-error budget for the software-only rival schedulers
+          (murali-delay, cqc-synergy): simultaneous gate pairs whose modeled
+          crosstalk error exceeds it are serialized; default [1e-4]. *)
   warm_start : bool;
       (** Warm-start each moment's frequency solve from the previous moment's
           witness (default false; witnesses may differ within the solver

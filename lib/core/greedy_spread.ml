@@ -65,6 +65,8 @@ let scheduler : Pass.scheduler =
     (* not one of the paper's Table I columns: this is the serve fallback *)
     let table1 = false
 
+    let consumes = `Native
+
     let schedule (options : Pass.options) device native =
       run ~crosstalk_distance:options.Pass.crosstalk_distance device native
   end)

@@ -6,7 +6,8 @@ type options = {
   residual_coupling : float;
   placement : [ `Identity | `Degree | `Coherence | `Auto ];
   optimize : bool;
-  router : [ `Greedy | `Lookahead ];
+  router : string;
+  delay_threshold : float;
   warm_start : bool;
   decompose_components : bool;
 }
@@ -20,7 +21,8 @@ let default_options =
     residual_coupling = 0.0;
     placement = `Auto;
     optimize = false;
-    router = `Lookahead;
+    router = "lookahead";
+    delay_threshold = 1e-4;
     warm_start = false;
     decompose_components = false;
   }
@@ -38,6 +40,8 @@ module type SCHEDULER = sig
   val aliases : string list
 
   val table1 : bool
+
+  val consumes : [ `Native | `Logical ]
 
   val schedule : options -> Device.t -> Circuit.t -> Schedule.t * stat list
 end
@@ -89,6 +93,83 @@ let scheduler_exn name =
     invalid_arg
       (Printf.sprintf "Pass: unknown scheduler %S (registered: %s)" name
          (String.concat ", " (scheduler_names ())))
+
+(* Routing is a registered pass of its own, mirroring the scheduler registry:
+   [options.router] names the registered router the route stage dispatches
+   to, and schedulers that own their routing ([consumes = `Logical]) simply
+   never consult it. *)
+module type ROUTER = sig
+  val name : string
+
+  val aliases : string list
+
+  val route : Graph.t -> placement:int array -> Circuit.t -> Mapping.result
+end
+
+type router = (module ROUTER)
+
+let router_registry : router list ref = ref []
+
+let router_mutex = Mutex.create ()
+
+let router_name_of (module R : ROUTER) = R.name
+
+let register_router (module R : ROUTER) =
+  Mutex.lock router_mutex;
+  let replaced = ref false in
+  let updated =
+    List.map
+      (fun entry ->
+        if router_name_of entry = R.name then begin
+          replaced := true;
+          (module R : ROUTER)
+        end
+        else entry)
+      !router_registry
+  in
+  router_registry := (if !replaced then updated else updated @ [ (module R) ]);
+  Mutex.unlock router_mutex
+
+let routers () =
+  Mutex.lock router_mutex;
+  let all = !router_registry in
+  Mutex.unlock router_mutex;
+  all
+
+let router_names () = List.map router_name_of (routers ())
+
+let find_router name =
+  List.find_opt
+    (fun (module R : ROUTER) -> R.name = name || List.mem name R.aliases)
+    (routers ())
+
+let router_exn name =
+  match find_router name with
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Pass: unknown router %S (registered: %s)" name
+         (String.concat ", " (router_names ())))
+
+(* The two built-in SWAP-insertion strategies, registered here so the route
+   pass works before Compile's scheduler registrations have run. *)
+let () =
+  register_router
+    (module struct
+      let name = "lookahead"
+
+      let aliases = [ "sabre"; "l" ]
+
+      let route graph ~placement circuit = Mapping.route_lookahead ~placement graph circuit
+    end);
+  register_router
+    (module struct
+      let name = "greedy"
+
+      let aliases = [ "shortest-path"; "g" ]
+
+      let route graph ~placement circuit = Mapping.route ~placement graph circuit
+    end)
 
 module Context = struct
   type pass_report = {
@@ -284,9 +365,8 @@ let make_pass pass_name f =
 
 let route_with ctx placement =
   let graph = Device.graph ctx.Context.device in
-  match ctx.Context.options.router with
-  | `Greedy -> Mapping.route ~placement graph ctx.Context.circuit
-  | `Lookahead -> Mapping.route_lookahead ~placement graph ctx.Context.circuit
+  let (module R : ROUTER) = router_exn ctx.Context.options.router in
+  R.route graph ~placement ctx.Context.circuit
 
 let place =
   make_pass "place" (fun ctx ->
@@ -352,6 +432,38 @@ let schedule algorithm =
       in
       { ctx with Context.schedule = Some sched; algorithm = Some S.name; stats })
 
+(* The combined stage for [consumes = `Logical] schedulers: apply the chosen
+   placement by widening the logical circuit to the device's qubit count and
+   hand the scheduler the still-unrouted program — SWAP insertion, native
+   decomposition and scheduling are then its responsibility (CQC-style
+   synergistic compilation interleaves them by design). *)
+let route_schedule algorithm =
+  make_pass "route-schedule" (fun ctx ->
+      let (module S : SCHEDULER) = scheduler_exn algorithm in
+      let device = ctx.Context.device in
+      let circuit = ctx.Context.circuit in
+      let placement =
+        match ctx.Context.placement with
+        | Some p -> p
+        | None -> Mapping.identity_placement (Device.graph device) circuit
+      in
+      let n_phys = Graph.n_vertices (Device.graph device) in
+      let b = Circuit.builder n_phys in
+      Array.iter
+        (fun app ->
+          Circuit.add b app.Gate.gate
+            (List.map (fun q -> placement.(q)) (Array.to_list app.Gate.qubits)))
+        (Circuit.instructions circuit);
+      let placed = Circuit.finish b in
+      let sched, stats = S.schedule ctx.Context.options device placed in
+      {
+        ctx with
+        Context.prerouted = None;
+        schedule = Some sched;
+        algorithm = Some S.name;
+        stats;
+      })
+
 let evaluate =
   make_pass "evaluate" (fun ctx ->
       let metrics =
@@ -363,7 +475,15 @@ let evaluate =
 let prepare_passes = [ place; route; decompose; optimize ]
 
 let pipeline ?(through = `Evaluate) ~algorithm () =
-  let stages = prepare_passes @ [ schedule algorithm ] in
+  (* Assemble the stage list from the scheduler's declared requirements: a
+     [`Native] consumer gets the classic routed/decomposed front end; a
+     [`Logical] consumer gets placement only and owns everything after. *)
+  let (module S : SCHEDULER) = scheduler_exn algorithm in
+  let stages =
+    match S.consumes with
+    | `Native -> prepare_passes @ [ schedule S.name ]
+    | `Logical -> [ place; route_schedule S.name ]
+  in
   match through with `Schedule -> stages | `Evaluate -> stages @ [ evaluate ]
 
 let run_pipeline passes ctx = List.fold_left (fun ctx p -> p.apply ctx) ctx passes

@@ -1,22 +1,34 @@
 (** Pass-manager compiler pipeline.
 
-    The compiler is an explicit sequence of typed stages
+    The compiler is a composable pass-graph assembled per algorithm.  A
+    scheduler that consumes native gates ([consumes = `Native]) gets the
+    classic front end
 
     {v place -> route -> decompose -> optimize -> schedule -> evaluate v}
 
-    threaded over a {!Context.t} record that carries the device, the options,
-    every intermediate artifact (placement, routed circuit, native circuit,
-    schedule, metrics) and an instrumentation trail: wall-clock per pass,
-    {!Fastsc_smt.Smt.find_max_delta} solve-count deltas, and the hit/miss
-    deltas of the {!Freq_alloc} and {!Fastsc_noise.Crosstalk} memo tables.
+    while a scheduler that owns its own routing ([consumes = `Logical], e.g.
+    the CQC-style synergistic compiler) gets
+
+    {v place -> route-schedule -> evaluate v}
+
+    — {!pipeline} reads the chosen scheduler's declared requirements and
+    assembles the stage list accordingly; there is no constant pipeline.
+    Stages are threaded over a {!Context.t} record that carries the device,
+    the options, every intermediate artifact (placement, routed circuit,
+    native circuit, schedule, metrics) and an instrumentation trail:
+    wall-clock per pass, {!Fastsc_smt.Smt.find_max_delta} solve-count deltas,
+    and the hit/miss deltas of the {!Freq_alloc} and
+    {!Fastsc_noise.Crosstalk} memo tables.
 
     Scheduling algorithms are first-class {!SCHEDULER} modules held in a
-    registry; the seven built-ins are registered by {!Compile} (reference
+    registry; the built-in zoo is registered by {!Compile} (reference
     {!Compile} — e.g. any [Compile.algorithm_of_string] call — before using
     the registry so their registrations have run).  New algorithms register
     the same way and are immediately usable by name through {!execute},
     including per-compilation statistics via {!Context.stats} — there is no
-    special-cased stats path.
+    special-cased stats path.  SWAP-insertion strategies live in a parallel
+    {!ROUTER} registry selected through [options.router]; the two built-ins
+    ([lookahead], [greedy]) register at module-initialization time.
 
     [Compile.run] and friends are thin wrappers over this module and their
     output is bit-identical to the pre-pass-manager pipeline (golden tests
@@ -32,7 +44,14 @@ type options = {
       (** Initial mapping heuristic; [`Auto] (default) routes with identity
           and degree placements and keeps whichever inserts fewer SWAPs. *)
   optimize : bool;  (** Run the peephole optimizer after decomposition. *)
-  router : [ `Greedy | `Lookahead ];  (** SWAP-insertion strategy. *)
+  router : string;
+      (** Name (or alias) of the registered {!ROUTER} the route pass
+          dispatches to; default ["lookahead"].  Unknown names raise when the
+          route pass runs. *)
+  delay_threshold : float;
+      (** Crosstalk pair-error budget above which software-only schedulers
+          (murali-delay, cqc-synergy) refuse to run two gates simultaneously
+          and delay one instead; default [1e-4]. *)
   warm_start : bool;
       (** Seed each moment's frequency solve with the previous moment's
           witness (ColorDynamic family).  Off by default: warm-started solves
@@ -70,9 +89,18 @@ module type SCHEDULER = sig
   (** One of the paper's five Table I evaluation columns (drives
       [Compile.all_algorithms] vs [Compile.extended_algorithms]). *)
 
+  val consumes : [ `Native | `Logical ]
+  (** What the scheduler's [schedule] expects as its circuit argument.
+      [`Native] (every paper scheduler): an already-routed native-gate
+      circuit — {!pipeline} runs the classic front end first.  [`Logical]:
+      the placement-applied but {e unrouted} program — the scheduler owns
+      SWAP insertion and decomposition itself, and {!pipeline} hands it the
+      circuit through the combined {!route_schedule} stage instead. *)
+
   val schedule : options -> Device.t -> Circuit.t -> Schedule.t * stat list
-  (** Schedule an already-routed native-gate circuit, picking whichever
-      options apply; returns per-compilation stats ([[]] if none). *)
+  (** Schedule the circuit (routed native gates for [`Native] consumers, the
+      placed logical program for [`Logical] ones), picking whichever options
+      apply; returns per-compilation stats ([[]] if none). *)
 end
 
 type scheduler = (module SCHEDULER)
@@ -93,6 +121,41 @@ val find_scheduler : string -> scheduler option
 
 val scheduler_exn : string -> scheduler
 (** Like {!find_scheduler}.
+    @raise Invalid_argument with the list of registered names on a miss. *)
+
+(** A SWAP-insertion strategy as the route pass sees it.  Routers form a
+    registry parallel to the scheduler one; [options.router] selects by name
+    or alias.  Built-ins: ["lookahead"] (SABRE-style windowed lookahead, the
+    default) and ["greedy"] (shortest-path). *)
+module type ROUTER = sig
+  val name : string
+  (** Canonical name, e.g. ["lookahead"]. *)
+
+  val aliases : string list
+  (** Accepted spellings besides [name]. *)
+
+  val route : Graph.t -> placement:int array -> Circuit.t -> Mapping.result
+  (** Insert SWAPs so every two-qubit gate lands on a coupled pair, starting
+      from [placement]. *)
+end
+
+type router = (module ROUTER)
+
+val register_router : router -> unit
+(** Add a router to the registry; re-registering a [name] replaces it in
+    place, like {!register}. *)
+
+val routers : unit -> router list
+(** All registered routers, in registration order. *)
+
+val router_names : unit -> string list
+(** Canonical router names, in registration order. *)
+
+val find_router : string -> router option
+(** Look up by canonical name or alias. *)
+
+val router_exn : string -> router
+(** Like {!find_router}.
     @raise Invalid_argument with the list of registered names on a miss. *)
 
 module Context : sig
@@ -198,17 +261,28 @@ val schedule : string -> pass
     schedule, the canonical algorithm name and the scheduler's stats.
     @raise Invalid_argument (at application time) for an unknown name. *)
 
+val route_schedule : string -> pass
+(** The combined stage for [`Logical] consumers: apply the chosen placement
+    (widening the program to the device's qubit count) and hand the unrouted
+    circuit to the named scheduler, which owns SWAP insertion, decomposition
+    and scheduling; records the schedule, algorithm name and stats.
+    @raise Invalid_argument (at application time) for an unknown name. *)
+
 val evaluate : pass
 (** Evaluate the schedule ({!Schedule.evaluate} at
     [options.crosstalk_distance]) into {!Context.t.metrics}. *)
 
 val prepare_passes : pass list
 (** [place; route; decompose; optimize] — the shared front end every
-    scheduler consumes ({!Compile.prepare}). *)
+    [`Native] scheduler consumes ({!Compile.prepare}). *)
 
 val pipeline : ?through:[ `Schedule | `Evaluate ] -> algorithm:string -> unit -> pass list
-(** The standard stage list for one algorithm; [through] (default
-    [`Evaluate]) stops after scheduling when metrics are not needed. *)
+(** The stage list for one algorithm, assembled from the scheduler's declared
+    requirements ({!SCHEDULER.consumes}): [`Native] consumers get
+    [prepare_passes @ [schedule]], [`Logical] ones get
+    [[place; route_schedule]].  [through] (default [`Evaluate]) stops after
+    scheduling when metrics are not needed.
+    @raise Invalid_argument for an unknown algorithm name. *)
 
 val run_pipeline : pass list -> Context.t -> Context.t
 

@@ -154,20 +154,24 @@ let step_errors ?(worst_case = false) ?(crosstalk_distance = 1) t step =
 let fault_xtalk_drop = lazy (Fault.enabled "sched-xtalk-drop")
 
 let evaluate ?(worst_case = false) ?(crosstalk_distance = 1)
-    ?(decoherence = Decoherence.Exponential) t =
+    ?(decoherence = Decoherence.Exponential) ?coherence t =
   let gate_acc = Success.create () in
   let xtalk_acc = Success.create () in
   let dec_acc = Success.create () in
   List.iter (accumulate_step t ~worst_case ~crosstalk_distance gate_acc xtalk_acc) t.steps;
   let xtalk_acc = if Lazy.force fault_xtalk_drop then Success.create () else xtalk_acc in
   let duration = total_time t in
+  let qubit_coherence =
+    match coherence with
+    | Some f -> f
+    | None -> fun q -> (Device.t1 t.device q, Device.t2 t.device q)
+  in
   (* only qubits that ever carry program state decohere it; spare device
      qubits sit in |0> where T1 decay and dephasing are harmless *)
   List.iter
     (fun q ->
-      Success.add_error dec_acc
-        (Decoherence.error ~model:decoherence ~t1:(Device.t1 t.device q)
-           ~t2:(Device.t2 t.device q) ~t:duration ()))
+      let t1, t2 = qubit_coherence q in
+      Success.add_error dec_acc (Decoherence.error ~model:decoherence ~t1 ~t2 ~t:duration ()))
     (used_qubits t);
   let total = Success.combine gate_acc (Success.combine xtalk_acc dec_acc) in
   {

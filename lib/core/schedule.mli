@@ -84,12 +84,17 @@ val evaluate :
   ?worst_case:bool ->
   ?crosstalk_distance:int ->
   ?decoherence:Decoherence.model ->
+  ?coherence:(int -> float * float) ->
   t -> metrics
 (** Worst-case program success estimation (eq 4).  [worst_case] (default
     false) replaces the time-dependent transfer probability with its peak
     envelope; [crosstalk_distance] (default 1) set to 2 adds parasitic
     distance-2 spectators; [decoherence] defaults to the standard
-    exponential model (see DESIGN.md). *)
+    exponential model (see DESIGN.md).  [coherence] overrides the per-qubit
+    [(t1, t2)] used for the decoherence term — by default the device's bare
+    tables; pass {!Calibration.coherence} to charge flux-noise dephasing at
+    each qubit's parking point instead (the calibration-backed evaluation
+    the shootout bench uses). *)
 
 val check : t -> (unit, string) result
 (** Structural invariants: per-step gates are qubit-disjoint; every

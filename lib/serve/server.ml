@@ -24,6 +24,7 @@ type config = {
   max_inflight : int;
   snapshot_dir : string option;
   snapshot_every : int;
+  stats_every : int;
   drain_grace_ms : float;
   scrub : bool;
 }
@@ -35,6 +36,7 @@ let default_config =
     max_inflight = 64;
     snapshot_dir = None;
     snapshot_every = 32;
+    stats_every = 0;
     drain_grace_ms = 2000.0;
     scrub = false;
   }
@@ -115,6 +117,7 @@ type state = {
   completed : int Atomic.t;
   out_mutex : Mutex.t;
   pool : Pool.t option;  (* None when jobs = 1: requests run inline *)
+  telemetry : Telemetry.t;
 }
 
 let scrub_enabled config =
@@ -169,8 +172,11 @@ let handle_line ~config ~state oc line =
                   (Printexc.to_string exn)
             in
             respond ~config ~state oc resp;
+            Telemetry.record state.telemetry resp;
             ignore (Atomic.fetch_and_add state.inflight (-1));
             let completed = 1 + Atomic.fetch_and_add state.completed 1 in
+            if config.stats_every > 0 && completed mod config.stats_every = 0 then
+              log "%s" (Telemetry.line state.telemetry);
             match config.snapshot_dir with
             | Some dir
               when config.snapshot_every > 0 && completed mod config.snapshot_every = 0
@@ -256,6 +262,7 @@ let run config =
       completed = Atomic.make 0;
       out_mutex = Mutex.create ();
       pool;
+      telemetry = Telemetry.create ();
     }
   in
   log "ready (jobs=%d, max_inflight=%d%s)" jobs config.max_inflight

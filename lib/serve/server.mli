@@ -20,6 +20,9 @@ type config = {
   max_inflight : int;  (** Admission-control bound; excess is shed. *)
   snapshot_dir : string option;  (** Where solver-cache snapshots live. *)
   snapshot_every : int;  (** Snapshot period in completed requests; 0 = only at drain. *)
+  stats_every : int;
+      (** Emit the {!Telemetry} stats line to stderr every this many
+          completed requests; 0 (the default) disables it. *)
   drain_grace_ms : float;  (** Grace for in-flight requests at shutdown. *)
   scrub : bool;
       (** Zero latency fields in responses (also [FASTSC_SERVE_SCRUB=1]). *)
@@ -27,7 +30,8 @@ type config = {
 
 val default_config : config
 (** stdin transport, no default deadline, [max_inflight = 64],
-    no snapshots, [snapshot_every = 32], 2 s drain grace, no scrub. *)
+    no snapshots, [snapshot_every = 32], stats line off, 2 s drain grace,
+    no scrub. *)
 
 val run : config -> unit
 (** Run the daemon until EOF on its transport or SIGTERM/SIGINT, then

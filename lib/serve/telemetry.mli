@@ -1,0 +1,32 @@
+(** Periodic operational stats for [fastsc serve].
+
+    A mutex-guarded recorder accumulates one latency sample per completed
+    request, bucketed by the degradation-ladder tier that produced the
+    witness; {!line} snapshots the recorder, reads the solver-cache
+    counters, and formats the single stderr line the daemon emits every
+    [--stats-every] requests. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Protocol.response -> unit
+(** Count one completed request.  [Ok_response]s contribute their
+    [latency_ms] to their [tier]'s bucket; errors only bump the error
+    count.  Safe to call from concurrent pool workers. *)
+
+val format_line :
+  served:int ->
+  errors:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  tiers:(string * float list) list ->
+  string
+(** The pure formatter behind {!line}: [served] total requests, solver-cache
+    hit rate (["-"] when no solves happened yet), then per-tier sample
+    count and p50/p95 latency, in the given order.  Exposed for unit
+    tests. *)
+
+val line : t -> string
+(** Snapshot + {!Fastsc_core.Freq_alloc.solver_cache_stats} + {!format_line};
+    tiers appear in ladder order (full, decomposed-warm, stale, greedy). *)

@@ -116,6 +116,22 @@ let catalog =
          into the warm cache instead of being quarantined";
       suites = [ "snapshot" ];
     };
+    {
+      name = "murali-delay-threshold";
+      site = "Murali_delay.pack";
+      description =
+        "delay-threshold comparison flipped: conflicting simultaneous gates pack together \
+         and harmless distant pairs serialize";
+      suites = [ "rivals" ];
+    };
+    {
+      name = "cqc-swap-score";
+      site = "Cqc_synergy.route";
+      description =
+        "conflict-pressure term dropped from SWAP scoring: routing degenerates to plain \
+         depth lookahead and ignores spectrum collisions with concurrent gates";
+      suites = [ "rivals" ];
+    };
   ]
 
 let names = List.map (fun s -> s.name) catalog

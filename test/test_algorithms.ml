@@ -168,7 +168,7 @@ let test_algorithm_string_roundtrip () =
       | Some a' -> check_true "roundtrip" (a = a')
       | None -> Alcotest.fail "parse failed")
     Compile.extended_algorithms;
-  check_true "extended covers all" (List.length Compile.extended_algorithms = 7);
+  check_true "extended covers all" (List.length Compile.extended_algorithms = 9);
   check_true "unknown rejected" (Compile.algorithm_of_string "nonsense" = None)
 
 let test_registry_names_and_aliases () =
@@ -189,9 +189,9 @@ let test_registry_names_and_aliases () =
             | None -> Alcotest.failf "alias %s of %s does not resolve" alias name)
           S.aliases)
     Compile.extended_algorithms;
-  (* seven Compile-variant algorithms plus greedy-spread, which is
+  (* nine Compile-variant algorithms plus greedy-spread, which is
      registry-only (the serve ladder's deadline-free floor, reached by name) *)
-  check_int "registry holds the eight built-ins" 8
+  check_int "registry holds the ten built-ins" 10
     (List.length (Pass.scheduler_names ()));
   (match Pass.find_scheduler "greedy-spread" with
   | Some (module S : Pass.SCHEDULER) ->

@@ -80,9 +80,33 @@ let prop_all_seeds_check =
     (fun seed ->
       Result.is_ok (Calibration.check (calibration ~seed ())))
 
+let test_coherence_backed_evaluation () =
+  let cal = calibration () in
+  (* flux-noise dephasing only ever shortens T2, never lengthens it, and
+     leaves T1 alone *)
+  Array.iter
+    (fun qc ->
+      let t1, t2 = Calibration.coherence cal qc.Calibration.qubit in
+      check_float "t1 untouched" qc.Calibration.t1 t1;
+      check_true "t2 shortened" (t2 <= qc.Calibration.t2 && t2 > 0.0))
+    cal.Calibration.qubits;
+  check_true "out of range rejected"
+    (try
+       ignore (Calibration.coherence cal 99);
+       false
+     with Invalid_argument _ -> true);
+  (* threading it through evaluate can only lower the success estimate *)
+  let d = cal.Calibration.device in
+  let s = Compile.run Compile.Color_dynamic d (Fastsc_benchmarks.Bv.circuit ~n:9 ()) in
+  let bare = Schedule.evaluate s in
+  let backed = Schedule.evaluate ~coherence:(Calibration.coherence cal) s in
+  check_true "calibration noise costs success"
+    (backed.Schedule.success <= bare.Schedule.success && backed.Schedule.success > 0.0)
+
 let suite =
   [
     Alcotest.test_case "shape" `Quick test_shape;
+    Alcotest.test_case "coherence-backed evaluation" `Quick test_coherence_backed_evaluation;
     Alcotest.test_case "check passes" `Quick test_check_passes;
     Alcotest.test_case "idle sensitivity" `Quick test_idle_at_low_sensitivity;
     Alcotest.test_case "cz resonance" `Quick test_cz_resonance_condition;

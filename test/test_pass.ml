@@ -108,6 +108,7 @@ let test_register_replaces_in_place () =
       let name = "test-fixed"
       let aliases = [ "tf" ]
       let table1 = false
+      let consumes = `Native
       let schedule options device native =
         ignore options;
         let sched = Baseline_uniform.run device native in

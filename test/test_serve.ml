@@ -1,6 +1,7 @@
 open Helpers
 module Protocol = Fastsc_serve.Protocol
 module Ladder = Fastsc_serve.Ladder
+module Telemetry = Fastsc_serve.Telemetry
 
 (* The serve layer: wire protocol totality, the degradation ladder's tier
    walk, and the stale-witness cache.  The deadline-zero ladder test is the
@@ -193,6 +194,53 @@ let test_scrub_zeroes_latency () =
   check_true "scrubbed responses deterministic"
     (Protocol.response_line ~scrub:true resp = Protocol.response_line ~scrub:true again)
 
+(* -- telemetry --------------------------------------------------------------- *)
+
+let test_telemetry_format_line () =
+  check_true "no solves yet shows a dash"
+    (Telemetry.format_line ~served:0 ~errors:0 ~cache_hits:0 ~cache_misses:0
+       ~tiers:[]
+    = "stats: 0 served | solver cache -");
+  check_true "hit rate and error suffix"
+    (Telemetry.format_line ~served:10 ~errors:2 ~cache_hits:3 ~cache_misses:1
+       ~tiers:[]
+    = "stats: 10 served (2 errors) | solver cache 75% hit (3/4)");
+  (* single-sample buckets pin p50 = p95 = the sample, independent of the
+     percentile interpolation rule; tier order is preserved as given *)
+  check_true "per-tier percentiles in order"
+    (Telemetry.format_line ~served:3 ~errors:0 ~cache_hits:1 ~cache_misses:1
+       ~tiers:[ ("full", [ 4.0 ]); ("greedy", [ 1.5; 1.5 ]) ]
+    = "stats: 3 served | solver cache 50% hit (1/2) \
+       | full n=1 p50 4.0ms p95 4.0ms | greedy n=2 p50 1.5ms p95 1.5ms")
+
+let test_telemetry_recorder () =
+  let t = Telemetry.create () in
+  let body = ok_body (Ladder.compile (small_request ())) in
+  Telemetry.record t
+    (Protocol.Ok_response { body with Protocol.tier = "greedy"; latency_ms = 1.0 });
+  Telemetry.record t
+    (Protocol.Ok_response { body with Protocol.tier = "full"; latency_ms = 2.0 });
+  Telemetry.record t
+    (Protocol.Error_response
+       { err_id = "e"; code = Protocol.Internal; message = "boom" });
+  let line = Telemetry.line t in
+  check_true "served count" (contains line "stats: 3 served");
+  check_true "error count" (contains line "(1 errors)");
+  check_true "solver cache section present" (contains line "| solver cache");
+  check_true "full bucket" (contains line "| full n=1 p50 2.0ms p95 2.0ms");
+  check_true "greedy bucket" (contains line "| greedy n=1 p50 1.0ms p95 1.0ms");
+  (* ladder order: full is reported before greedy even though greedy was
+     recorded first *)
+  let idx sub =
+    let rec go i =
+      if i + String.length sub > String.length line then -1
+      else if String.sub line i (String.length sub) = sub then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  check_true "ladder order" (idx "| full" < idx "| greedy")
+
 let suite =
   [
     Alcotest.test_case "request defaults" `Quick test_request_defaults;
@@ -209,4 +257,7 @@ let suite =
     Alcotest.test_case "ladder: stale hit" `Quick test_ladder_stale_hit;
     Alcotest.test_case "ladder: unknown algorithm" `Quick test_ladder_unknown_algorithm;
     Alcotest.test_case "scrub zeroes latency" `Quick test_scrub_zeroes_latency;
+    Alcotest.test_case "telemetry: pure formatter" `Quick test_telemetry_format_line;
+    Alcotest.test_case "telemetry: recorder round-trip" `Quick
+      test_telemetry_recorder;
   ]
