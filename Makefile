@@ -23,7 +23,10 @@ bench:
 bench-sim:
 	$(DUNE) build bench/main.exe
 	FASTSC_SIM_QUBITS=$${FASTSC_SIM_QUBITS:-6} \
+	FASTSC_SIM_BIG_QUBITS=$${FASTSC_SIM_BIG_QUBITS:-8} \
+	FASTSC_SIM_CYCLES=$${FASTSC_SIM_CYCLES:-2} \
 	FASTSC_SIM_TRIALS=$${FASTSC_SIM_TRIALS:-20} \
+	FASTSC_SIM_TRAJ_QUBITS=$${FASTSC_SIM_TRAJ_QUBITS:-4} \
 	FASTSC_SIM_DENSITY_QUBITS=$${FASTSC_SIM_DENSITY_QUBITS:-4} \
 	FASTSC_SIM_BUDGET_MS=$${FASTSC_SIM_BUDGET_MS:-20} \
 	$(DUNE) exec bench/main.exe -- sim > /dev/null

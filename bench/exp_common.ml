@@ -40,6 +40,18 @@ let benchmark ?(seed = circuit_seed) name n =
       n;
       make = (fun device -> xeb_for_device ~seed device);
     }
+  | "grover" ->
+    {
+      label = Printf.sprintf "grover(%d,%d)" n (Grover.data_qubits ~n);
+      n;
+      make = (fun _ -> Grover.circuit ~n ());
+    }
+  | "vqe" ->
+    {
+      label = Printf.sprintf "vqe(%d)" n;
+      n;
+      make = (fun _ -> Vqe.circuit (Rng.create seed) ~n ());
+    }
   | other -> invalid_arg ("unknown benchmark: " ^ other)
 
 (* The paper's suite (§VI-B): n = 4, 9, 16; qaoa(16)/ising(16) are kept here
@@ -47,7 +59,7 @@ let benchmark ?(seed = circuit_seed) name n =
    them and mark the cutoff in the driver. *)
 let suite_sizes = [ 4; 9; 16 ]
 
-let suite_names = [ "bv"; "qaoa"; "ising"; "qgan"; "xeb" ]
+let suite_names = [ "bv"; "qaoa"; "ising"; "qgan"; "xeb"; "grover"; "vqe" ]
 
 let full_suite () =
   List.concat_map (fun name -> List.map (fun n -> benchmark name n) suite_sizes) suite_names

@@ -341,7 +341,10 @@ let smt_scale_determinism topology =
 let sim_bench_env =
   [
     ("FASTSC_SIM_QUBITS", "8");
+    ("FASTSC_SIM_BIG_QUBITS", "10");
+    ("FASTSC_SIM_CYCLES", "2");
     ("FASTSC_SIM_TRIALS", "40");
+    ("FASTSC_SIM_TRAJ_QUBITS", "4");
     ("FASTSC_SIM_DENSITY_QUBITS", "4");
     ("FASTSC_SIM_BUDGET_MS", "60");
     ("FASTSC_JOBS", "4");

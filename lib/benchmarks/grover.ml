@@ -1,0 +1,108 @@
+(* Grover search over d data qubits, with the multi-controlled-Z phase
+   oracle compiled down to the gate set via a v-chain of Toffolis (each
+   Toffoli in the standard 7-T/6-CNOT decomposition).  A device with n
+   qubits hosts the largest d such that d data qubits plus the max 0 (d-3)
+   clean ancillas the v-chain needs fit: d + max 0 (d-3) <= n. *)
+
+let data_qubits ~n =
+  if n < 1 then invalid_arg "Grover.data_qubits: needs at least 1 qubit";
+  let d = ref 1 in
+  while !d + 1 + max 0 (!d + 1 - 3) <= n do
+    incr d
+  done;
+  !d
+
+(* Standard 7-T Toffoli: controls a b, target t. *)
+let toffoli b a c t =
+  Circuit.add b Gate.H [ t ];
+  Circuit.add b Gate.Cnot [ c; t ];
+  Circuit.add b Gate.Tdg [ t ];
+  Circuit.add b Gate.Cnot [ a; t ];
+  Circuit.add b Gate.T [ t ];
+  Circuit.add b Gate.Cnot [ c; t ];
+  Circuit.add b Gate.Tdg [ t ];
+  Circuit.add b Gate.Cnot [ a; t ];
+  Circuit.add b Gate.T [ c ];
+  Circuit.add b Gate.T [ t ];
+  Circuit.add b Gate.H [ t ];
+  Circuit.add b Gate.Cnot [ a; c ];
+  Circuit.add b Gate.T [ a ];
+  Circuit.add b Gate.Tdg [ c ];
+  Circuit.add b Gate.Cnot [ a; c ]
+
+(* Phase flip on |1...1> of data qubits [0, d).  Ancillas (clean, restored)
+   start at index d. *)
+let mcz b ~d =
+  match d with
+  | 1 -> Circuit.add b Gate.Z [ 0 ]
+  | 2 -> Circuit.add b Gate.Cz [ 0; 1 ]
+  | 3 ->
+    (* CCZ = H on the target around a Toffoli *)
+    Circuit.add b Gate.H [ 2 ];
+    toffoli b 0 1 2;
+    Circuit.add b Gate.H [ 2 ]
+  | _ ->
+    (* v-chain: AND the d-1 controls pairwise into ancillas, CCZ off the
+       last ancilla onto the target, then uncompute in reverse. *)
+    let n_anc = d - 3 in
+    let anc i = d + i in
+    let compute () =
+      toffoli b 0 1 (anc 0);
+      for i = 1 to n_anc - 1 do
+        toffoli b (i + 1) (anc (i - 1)) (anc i)
+      done
+    in
+    (* Each Toffoli is self-inverse, but the chain is not: later stages read
+       ancillas earlier ones wrote, so uncomputation must run in reverse. *)
+    let uncompute () =
+      for i = n_anc - 1 downto 1 do
+        toffoli b (i + 1) (anc (i - 1)) (anc i)
+      done;
+      toffoli b 0 1 (anc 0)
+    in
+    compute ();
+    Circuit.add b Gate.H [ d - 1 ];
+    toffoli b (d - 2) (anc (n_anc - 1)) (d - 1);
+    Circuit.add b Gate.H [ d - 1 ];
+    uncompute ()
+
+let optimal_rounds ~n =
+  let d = data_qubits ~n in
+  max 1 (int_of_float (Float.round (Float.pi /. 4.0 *. sqrt (float_of_int (1 lsl d)))))
+
+let circuit ?marked ?(rounds = 1) ~n () =
+  let d = data_qubits ~n in
+  let marked = match marked with Some m -> m | None -> (1 lsl d) - 1 in
+  if marked < 0 || marked >= 1 lsl d then
+    invalid_arg (Printf.sprintf "Grover.circuit: marked state out of range for %d data qubits" d);
+  if rounds < 1 then invalid_arg "Grover.circuit: needs at least 1 round";
+  let b = Circuit.builder n in
+  let flip_unmarked () =
+    for q = 0 to d - 1 do
+      if marked land (1 lsl q) = 0 then Circuit.add b Gate.X [ q ]
+    done
+  in
+  let h_data () =
+    for q = 0 to d - 1 do
+      Circuit.add b Gate.H [ q ]
+    done
+  in
+  let x_data () =
+    for q = 0 to d - 1 do
+      Circuit.add b Gate.X [ q ]
+    done
+  in
+  h_data ();
+  for _ = 1 to rounds do
+    (* oracle: phase flip on |marked> *)
+    flip_unmarked ();
+    mcz b ~d;
+    flip_unmarked ();
+    (* diffusion: reflect about the uniform superposition *)
+    h_data ();
+    x_data ();
+    mcz b ~d;
+    x_data ();
+    h_data ()
+  done;
+  Circuit.finish b

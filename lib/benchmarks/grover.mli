@@ -1,0 +1,25 @@
+(** Grover search benchmark family.
+
+    Amplitude amplification toward one marked basis state: uniform
+    superposition over [d] data qubits, then [rounds] iterations of phase
+    oracle + diffusion operator.  The multi-controlled-Z at the heart of
+    both is compiled to the gate set via a v-chain of Toffolis (standard
+    7-T/6-CNOT decomposition), which consumes [max 0 (d-3)] clean, restored
+    ancilla qubits — so an [n]-qubit device hosts {!data_qubits}[ ~n] data
+    qubits.  Deep, Toffoli-heavy circuits: the stress workload for the fused
+    simulation path and a standard entry in the compiler shootout. *)
+
+val data_qubits : n:int -> int
+(** Largest [d] with [d + max 0 (d-3) <= n] — the search-space width an
+    [n]-qubit device supports.
+    @raise Invalid_argument if [n < 1]. *)
+
+val optimal_rounds : n:int -> int
+(** Round(pi/4 * sqrt 2{^d}) for [d = data_qubits ~n], at least 1 — the
+    iteration count maximising success probability. *)
+
+val circuit : ?marked:int -> ?rounds:int -> n:int -> unit -> Circuit.t
+(** [circuit ~marked ~rounds ~n ()] — [marked] defaults to the all-ones
+    data state, [rounds] to 1.  Qubits [>= data_qubits ~n] are ancillas and
+    return to |0>.
+    @raise Invalid_argument if [marked] is out of range or [rounds < 1]. *)

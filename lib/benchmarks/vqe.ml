@@ -1,0 +1,21 @@
+let circuit rng ?(layers = 2) ~n () =
+  if n < 2 then invalid_arg "Vqe.circuit: needs at least 2 qubits";
+  if layers < 1 then invalid_arg "Vqe.circuit: needs at least 1 layer";
+  let b = Circuit.builder n in
+  let angle () = Rng.float rng *. 2.0 *. Float.pi in
+  let rotation_layer () =
+    for q = 0 to n - 1 do
+      Circuit.add b (Gate.Ry (angle ())) [ q ];
+      Circuit.add b (Gate.Rz (angle ())) [ q ]
+    done
+  in
+  for _ = 1 to layers do
+    rotation_layer ();
+    (* linear CZ entangler chain *)
+    for q = 0 to n - 2 do
+      Circuit.add b Gate.Cz [ q; q + 1 ]
+    done
+  done;
+  (* closing rotation layer so every entangler is sandwiched *)
+  rotation_layer ();
+  Circuit.finish b

@@ -32,11 +32,11 @@ let of_statevector sv =
   let re, im = Fmatrix.buffers rho in
   for i = 0 to d - 1 do
     let row = i * d in
-    let air = ar.(i) and aii = ai.(i) in
+    let air = ar.{i} and aii = ai.{i} in
     for j = 0 to d - 1 do
       (* a_i * conj(a_j) *)
-      re.(row + j) <- (air *. ar.(j)) +. (aii *. ai.(j));
-      im.(row + j) <- (aii *. ar.(j)) -. (air *. ai.(j))
+      re.(row + j) <- (air *. ar.{j}) +. (aii *. ai.{j});
+      im.(row + j) <- (aii *. ar.{j}) -. (air *. ai.{j})
     done
   done;
   { n; rho; scratch = None }
@@ -336,11 +336,11 @@ let fidelity_pure t sv =
   let acc = ref 0.0 in
   for i = 0 to d - 1 do
     let row = i * d in
-    let cir = ar.(i) and cii = ai.(i) in
+    let cir = ar.{i} and cii = ai.{i} in
     for j = 0 to d - 1 do
       let rr = re.(row + j) and ri = im.(row + j) in
-      let tr = (rr *. ar.(j)) -. (ri *. ai.(j)) in
-      let ti = (rr *. ai.(j)) +. (ri *. ar.(j)) in
+      let tr = (rr *. ar.{j}) -. (ri *. ai.{j}) in
+      let ti = (rr *. ai.{j}) +. (ri *. ar.{j}) in
       acc := !acc +. ((cir *. tr) +. (cii *. ti))
     done
   done;

@@ -1,0 +1,57 @@
+(** Gate fusion: the circuit-level transform behind the tier-2 simulation
+    engine (docs/DESIGN.md §14).
+
+    {!plan} rewrites a circuit into a shorter program of fused operations:
+    runs of adjacent single-qubit gates on the same qubit collapse into one
+    2x2 (matrix product), and pending 2x2s are absorbed into neighbouring
+    two-qubit gates as 4x4s (Kronecker lift, first operand = most
+    significant bit).  Trailing runs at end of circuit are absorbed
+    {e backward} into the last two-qubit gate touching the qubit — legal
+    because every later operation is disjoint from it — or emitted as a lone
+    2x2; a run whose product is the bit-exact identity (e.g. X·X) is dropped
+    entirely.  Both rewrites preserve the circuit unitary {e exactly} (not
+    merely up to global phase), which {!verify} checks against the unfused
+    {!Unitary.of_circuit} oracle.
+
+    Fused operations carry their matrices pre-extracted in kernel entries
+    form, so replaying a plan touches no boxed [Complex.t].  Fusion is
+    opt-in: {!Statevector.run} still applies gate-at-a-time; benches and
+    callers that want the fast path go through {!run}/{!apply}. *)
+
+type t
+(** A fused program: an ordered sequence of 2x2/4x4 applications in
+    {!Statevector.entries1}/[entries2] kernel form. *)
+
+val plan : Circuit.t -> t
+(** Fuse a circuit.  O(gates) matrix products; no amplitude is touched.
+    @raise Invalid_argument on malformed gate applications. *)
+
+val n_qubits : t -> int
+
+val length : t -> int
+(** Number of fused operations (the bench reports this beside
+    {!source_gates} as the fusion ratio). *)
+
+val source_gates : t -> int
+(** Number of gate applications in the source circuit. *)
+
+val apply : ?jobs:int -> Statevector.t -> t -> unit
+(** Replay a fused program on a state.  [?jobs] follows the
+    {!Statevector.apply_entries1} sharding contract.
+    @raise Invalid_argument on qubit count mismatch. *)
+
+val run : ?jobs:int -> Circuit.t -> Statevector.t -> unit
+(** [run circuit sv] = [apply sv (plan circuit)]. *)
+
+val of_circuit : Circuit.t -> Statevector.t
+(** Fresh |0..0> state with the fused circuit applied. *)
+
+val to_unitary : t -> Matrix.t
+(** The unitary the fused program implements (basis-column application,
+    mirroring {!Unitary.of_circuit}). *)
+
+val verify : ?tol:float -> Circuit.t -> t -> bool
+(** [verify circuit t] — entrywise comparison of {!to_unitary} against
+    {!Unitary.of_circuit} at absolute tolerance [tol] (default [1e-9]).
+    The equivalence oracle the property suite runs on random full-gate-set
+    circuits. *)

@@ -9,12 +9,12 @@ let of_circuit circuit =
   let sre, sim = Statevector.buffers state in
   for k = 0 to dim - 1 do
     Statevector.reset state;
-    sre.(0) <- 0.0;
-    sre.(k) <- 1.0;
+    sre.{0} <- 0.0;
+    sre.{k} <- 1.0;
     Statevector.run state circuit;
     for r = 0 to dim - 1 do
-      ure.((r * dim) + k) <- sre.(r);
-      uim.((r * dim) + k) <- sim.(r)
+      ure.((r * dim) + k) <- sre.{r};
+      uim.((r * dim) + k) <- sim.{r}
     done
   done;
   Fmatrix.to_matrix u

@@ -76,6 +76,56 @@ let test_qft_compiles () =
   let s = Fastsc_core.Compile.run Fastsc_core.Compile.Color_dynamic device (Qft.circuit ~n:6 ()) in
   check_true "valid" (Result.is_ok (Fastsc_core.Schedule.check s))
 
+let test_grover_data_qubits () =
+  (* d data qubits + max 0 (d-3) v-chain ancillas must fit in n. *)
+  List.iter
+    (fun (n, d) -> check_int (Printf.sprintf "data_qubits %d" n) d (Grover.data_qubits ~n))
+    [ (1, 1); (3, 3); (4, 3); (9, 6); (16, 9) ]
+
+let test_grover_amplifies_marked_state () =
+  (* n=4 hosts d=3 data qubits: success probability after the optimal two
+     rounds is sin^2(5 asin(1/sqrt 8)) ~ 0.945. *)
+  check_int "optimal rounds" 2 (Grover.optimal_rounds ~n:4);
+  let sv = Statevector.of_circuit (Grover.circuit ~rounds:2 ~n:4 ()) in
+  let marked = Statevector.probability sv 7 in
+  check_true "marked state amplified" (marked > 0.9);
+  (* sin^2(5 asin(1/sqrt 8)) = (2.75)^2 / 8 exactly. *)
+  check_float ~eps:1e-9 "exact success probability" 0.9453125 marked
+
+let test_grover_ancillas_restored () =
+  (* Qubits >= data_qubits come back to |0>: no probability mass on any
+     basis state with an ancilla bit set. *)
+  let n = 9 in
+  let d = Grover.data_qubits ~n in
+  let sv = Statevector.of_circuit (Grover.circuit ~n ()) in
+  let leaked = ref 0.0 in
+  for k = 0 to (1 lsl n) - 1 do
+    if k lsr d <> 0 then leaked := !leaked +. Statevector.probability sv k
+  done;
+  check_float ~eps:1e-9 "ancillas restored" 0.0 !leaked
+
+let test_grover_custom_mark () =
+  let sv = Statevector.of_circuit (Grover.circuit ~marked:2 ~rounds:2 ~n:4 ()) in
+  check_true "custom mark amplified" (Statevector.probability sv 2 > 0.9)
+
+let test_vqe_shape_and_determinism () =
+  (* layers * (2n rotations + (n-1) cz) + closing 2n rotations. *)
+  let n = 4 and layers = 2 in
+  let c = Vqe.circuit (Rng.create 5) ~layers ~n () in
+  check_int "gate count" ((layers * ((2 * n) + (n - 1))) + (2 * n)) (Circuit.length c);
+  check_int "cz count" (layers * (n - 1)) (Circuit.n_two_qubit c);
+  (* Same seed, same circuit: the ansatz is reproducible. *)
+  let c' = Vqe.circuit (Rng.create 5) ~layers ~n () in
+  check_float ~eps:1e-12 "same seed same state" 1.0
+    (Statevector.fidelity (Statevector.of_circuit c) (Statevector.of_circuit c'))
+
+let test_vqe_validation () =
+  check_true "n=1 rejected"
+    (try
+       ignore (Vqe.circuit (Rng.create 0) ~n:1 ());
+       false
+     with Invalid_argument _ -> true)
+
 let prop_qft_sizes =
   qcheck_case "qft gate count formula" QCheck.(int_range 1 8) (fun n ->
       let c = Qft.circuit ~reverse:false ~n () in
@@ -99,6 +149,12 @@ let suite =
     Alcotest.test_case "ghz fanout" `Quick test_ghz_fanout_state_and_depth;
     Alcotest.test_case "ghz compiles everywhere" `Quick test_ghz_compiles_everywhere;
     Alcotest.test_case "qft compiles" `Quick test_qft_compiles;
+    Alcotest.test_case "grover data qubits" `Quick test_grover_data_qubits;
+    Alcotest.test_case "grover amplification" `Quick test_grover_amplifies_marked_state;
+    Alcotest.test_case "grover ancillas restored" `Quick test_grover_ancillas_restored;
+    Alcotest.test_case "grover custom mark" `Quick test_grover_custom_mark;
+    Alcotest.test_case "vqe shape" `Quick test_vqe_shape_and_determinism;
+    Alcotest.test_case "vqe validation" `Quick test_vqe_validation;
     prop_qft_sizes;
     prop_ghz_fanout_always_ghz;
   ]

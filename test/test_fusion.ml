@@ -1,0 +1,126 @@
+(* Directed tests for the gate-fusion pass (docs/DESIGN.md §14): run
+   collapsing, forward/backward absorption into two-qubit gates, bit-exact
+   identity dropping, and the unitary-equivalence oracle.  The
+   [fusion-identity-skip] fault (end-of-circuit flush silently dropping
+   pending fused 2x2s) must be caught here: every test whose circuit ends in
+   a single-qubit run checks the fused unitary against the unfused oracle. *)
+open Helpers
+
+let amplitudes_match a b =
+  let worst = ref 0.0 in
+  Array.iteri (fun k x -> worst := Float.max !worst (Complex.norm (Complex.sub x b.(k)))) a;
+  !worst <= 1e-9
+
+let test_run_collapses_to_one () =
+  (* A run of single-qubit gates on one qubit fuses to a single 2x2. *)
+  let c = Circuit.of_gates 2 [ (Gate.H, [ 0 ]); (Gate.T, [ 0 ]); (Gate.S, [ 0 ]) ] in
+  let t = Fusion.plan c in
+  check_int "one fused op" 1 (Fusion.length t);
+  check_int "source gates" 3 (Fusion.source_gates t);
+  check_true "unitary preserved" (Fusion.verify c t)
+
+let test_forward_absorption () =
+  (* Pending 2x2s on both operands are absorbed into the 2q gate: the whole
+     circuit becomes one 4x4. *)
+  let c =
+    Circuit.of_gates 2
+      [ (Gate.Rz 0.3, [ 0 ]); (Gate.H, [ 0 ]); (Gate.Ry 1.1, [ 1 ]); (Gate.Cz, [ 0; 1 ]) ]
+  in
+  let t = Fusion.plan c in
+  check_int "one fused op" 1 (Fusion.length t);
+  check_true "unitary preserved" (Fusion.verify c t)
+
+let test_trailing_run_absorbed_backward () =
+  (* Trailing single-qubit runs fold backward into the last 2q gate that
+     touched the qubit — every intervening op is disjoint, so this is legal.
+     Under fusion-identity-skip the trailing runs vanish and verify fails. *)
+  let c =
+    Circuit.of_gates 2
+      [ (Gate.Cz, [ 0; 1 ]); (Gate.H, [ 0 ]); (Gate.T, [ 1 ]); (Gate.S, [ 0 ]) ]
+  in
+  let t = Fusion.plan c in
+  check_int "everything in the cz slot" 1 (Fusion.length t);
+  check_true "unitary preserved" (Fusion.verify c t)
+
+let test_lone_trailing_run_emitted () =
+  (* No 2q gate to absorb into: the run must be emitted as a lone 2x2, not
+     dropped (the seeded-fault failure mode). *)
+  let c = Circuit.of_gates 1 [ (Gate.H, [ 0 ]); (Gate.T, [ 0 ]) ] in
+  let t = Fusion.plan c in
+  check_int "one lone 2x2" 1 (Fusion.length t);
+  check_true "unitary preserved" (Fusion.verify c t)
+
+let test_exact_identity_run_dropped () =
+  (* X·X is the bit-exact identity: the run disappears entirely. *)
+  let c = Circuit.of_gates 1 [ (Gate.X, [ 0 ]); (Gate.X, [ 0 ]) ] in
+  let t = Fusion.plan c in
+  check_int "empty plan" 0 (Fusion.length t);
+  check_float ~eps:0.0 "state untouched" 1.0
+    (Statevector.probability (Fusion.of_circuit c) 0)
+
+let test_rotation_pair_not_dropped () =
+  (* Rz(t)·Rz(-t) is the identity only up to rounding — the bit-exact test
+     must keep it (dropping would silently change the unitary by ulps). *)
+  (* Half-angle 0.15: cos^2 + sin^2 rounds to 1 - 1ulp, not 1.0. *)
+  let c = Circuit.of_gates 1 [ (Gate.Rz 0.3, [ 0 ]); (Gate.Rz (-0.3), [ 0 ]) ] in
+  let t = Fusion.plan c in
+  check_int "kept as one 2x2" 1 (Fusion.length t);
+  check_true "unitary preserved" (Fusion.verify c t)
+
+let test_fused_state_matches_unfused () =
+  (* A structured deep circuit: Grover on 5 qubits mixes 1q runs, Toffoli
+     gadgets and X-conjugated oracles. *)
+  let c = Fastsc_benchmarks.Grover.circuit ~rounds:2 ~n:5 () in
+  let t = Fusion.plan c in
+  check_true "plan is shorter" (Fusion.length t < Fusion.source_gates t);
+  check_int "qubits" 5 (Fusion.n_qubits t);
+  check_true "amplitudes match"
+    (amplitudes_match
+       (Statevector.amplitudes (Fusion.of_circuit c))
+       (Statevector.amplitudes (Statevector.of_circuit c)))
+
+let test_apply_jobs_bit_identical () =
+  (* Sharded replay of a fused plan is bit-identical to serial replay. *)
+  let c = Fastsc_benchmarks.Vqe.circuit (Rng.create 7) ~layers:2 ~n:5 () in
+  let t = Fusion.plan c in
+  let run jobs =
+    let sv = Statevector.create 5 in
+    Fusion.apply ~jobs sv t;
+    sv
+  in
+  let serial = run 1 and sharded = run 3 in
+  let sre, sim = Statevector.buffers serial in
+  let pre, pim = Statevector.buffers sharded in
+  let ok = ref true in
+  for k = 0 to (1 lsl 5) - 1 do
+    if
+      Int64.bits_of_float sre.{k} <> Int64.bits_of_float pre.{k}
+      || Int64.bits_of_float sim.{k} <> Int64.bits_of_float pim.{k}
+    then ok := false
+  done;
+  check_true "bit-identical at jobs=1 vs 3" !ok
+
+let test_apply_rejects_mismatched_state () =
+  let t = Fusion.plan (Circuit.of_gates 3 [ (Gate.H, [ 0 ]) ]) in
+  Alcotest.check_raises "qubit mismatch"
+    (Invalid_argument "Fusion.apply: qubit count mismatch") (fun () ->
+      Fusion.apply (Statevector.create 2) t)
+
+let prop_verify_random_circuits =
+  prop_case "fused plan matches unfused unitary on random circuits"
+    (Proptest.circuit ~max_qubits:4 ~max_gates:20 ())
+    (fun c -> Fusion.verify c (Fusion.plan c))
+
+let suite =
+  [
+    Alcotest.test_case "run collapses" `Quick test_run_collapses_to_one;
+    Alcotest.test_case "forward absorption" `Quick test_forward_absorption;
+    Alcotest.test_case "backward absorption" `Quick test_trailing_run_absorbed_backward;
+    Alcotest.test_case "lone trailing run" `Quick test_lone_trailing_run_emitted;
+    Alcotest.test_case "identity run dropped" `Quick test_exact_identity_run_dropped;
+    Alcotest.test_case "rotation pair kept" `Quick test_rotation_pair_not_dropped;
+    Alcotest.test_case "fused state matches" `Quick test_fused_state_matches_unfused;
+    Alcotest.test_case "sharded replay bit-identical" `Quick test_apply_jobs_bit_identical;
+    Alcotest.test_case "mismatched state rejected" `Quick test_apply_rejects_mismatched_state;
+    prop_verify_random_circuits;
+  ]
